@@ -1,0 +1,71 @@
+"""Design-choice ablations called out in DESIGN.md (beyond the paper's
+explicit studies): ASLR mode, the ORPC filter, PC-bitmask width,
+huge-page PMD merging, and scheduler-quantum sensitivity."""
+
+from bench_common import BENCH_CORES, report
+from repro.experiments.ablations import (
+    run_aslr_ablation,
+    run_bitmask_width_ablation,
+    run_orpc_ablation,
+    run_quantum_ablation,
+    run_share_huge_ablation,
+)
+from repro.experiments.common import format_table
+
+CORES = min(BENCH_CORES, 4)
+
+
+def bench_aslr_modes(benchmark):
+    rows = benchmark.pedantic(run_aslr_ablation, kwargs={"cores": CORES},
+                              rounds=1, iterations=1)
+    report("ablation_aslr", format_table(
+        rows, ["mode", "mean_reduction_pct", "aslr_transforms", "l1_shared"],
+        title="Ablation: ASLR-SW vs ASLR-HW (Section IV-D)"))
+    sw = next(r for r in rows if r["mode"] == "aslr-sw")
+    hw = next(r for r in rows if r["mode"] == "aslr-hw")
+    # SW avoids the 2-cycle transform and shares at L1, so it is at least
+    # as good as the (conservative) HW configuration the paper evaluates.
+    assert sw["mean_reduction_pct"] >= hw["mean_reduction_pct"] - 1.0
+
+
+def bench_orpc_filter(benchmark):
+    rows = benchmark.pedantic(run_orpc_ablation, kwargs={"cores": CORES},
+                              rounds=1, iterations=1)
+    report("ablation_orpc", format_table(
+        rows, ["orpc_enabled", "mean_reduction_pct", "l2_long_accesses"],
+        title="Ablation: ORPC filter (Figure 5b)"))
+    on = next(r for r in rows if r["orpc_enabled"])
+    off = next(r for r in rows if not r["orpc_enabled"])
+    assert off["l2_long_accesses"] > on["l2_long_accesses"]
+
+
+def bench_bitmask_width(benchmark):
+    rows = benchmark.pedantic(run_bitmask_width_ablation,
+                              rounds=1, iterations=1)
+    report("ablation_bitmask_width", format_table(
+        rows,
+        ["pc_bits", "indirection", "reverts", "pte_pages_copied",
+         "cow_cycles"],
+        title="Ablation: PC bitmask width (Appendix overflow behaviour)"))
+    plain = {r["pc_bits"]: r for r in rows if not r["indirection"]}
+    assert plain[4]["reverts"] > plain[32]["reverts"] == 0
+
+
+def bench_share_huge(benchmark):
+    rows = benchmark.pedantic(run_share_huge_ablation,
+                              rounds=1, iterations=1)
+    report("ablation_share_huge", format_table(
+        rows, ["share_huge", "table_pages", "fork_cycles"],
+        title="Ablation: PMD-table merging for 2MB pages (Section IV-C)"))
+    on = next(r for r in rows if r["share_huge"])
+    off = next(r for r in rows if not r["share_huge"])
+    assert on["table_pages"] < off["table_pages"]
+
+
+def bench_quantum_sensitivity(benchmark):
+    rows = benchmark.pedantic(run_quantum_ablation, kwargs={"cores": CORES},
+                              rounds=1, iterations=1)
+    report("ablation_quantum", format_table(
+        rows, ["quantum_instructions", "mean_reduction_pct"],
+        title="Ablation: scheduler quantum sensitivity"))
+    assert len(rows) == 3

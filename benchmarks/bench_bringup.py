@@ -1,0 +1,24 @@
+"""Section VII-C: serverless function bring-up time (docker start)."""
+
+from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from repro.experiments.bringup import run_bringup
+from repro.experiments.paper_values import HEADLINE
+
+
+def bench_bringup(benchmark):
+    result = benchmark.pedantic(
+        run_bringup, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        rounds=1, iterations=1)
+    comparison = paper_vs_measured([
+        ("bring-up reduction %",
+         HEADLINE["function_bringup_reduction_pct"],
+         result["reduction_pct"]),
+        ("baseline bring-up cycles", None, int(result["baseline_cycles"])),
+        ("babelfish bring-up cycles", None, int(result["babelfish_cycles"])),
+        ("baseline minor faults", None, result["baseline_minor_faults"]),
+        ("babelfish minor faults", None, result["babelfish_minor_faults"]),
+    ])
+    report("bringup", comparison)
+    assert 0 < result["reduction_pct"] < 40
+    assert (result["babelfish_minor_faults"]
+            < result["baseline_minor_faults"])

@@ -1,0 +1,46 @@
+"""Shared benchmark configuration and reporting.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured report (also written under ``benchmarks/out/``). Run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables inline.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 1.0) multiplies the measured
+request/iteration counts; ``REPRO_BENCH_CORES`` (default 8) sets the core
+count. The defaults reproduce the paper's 8-core co-location.
+"""
+
+import os
+import pathlib
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_CORES = int(os.environ.get("REPRO_BENCH_CORES", "8"))
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(name, text):
+    """Print a result table and persist it under benchmarks/out/."""
+    banner = "\n" + "=" * 72 + "\n%s\n" % name + "=" * 72
+    print(banner)
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / ("%s.txt" % name)).write_text(text + "\n")
+
+
+def paper_vs_measured(pairs):
+    """Render [(label, paper, measured), ...] rows."""
+    width = max(len(label) for label, _p, _m in pairs)
+    lines = ["%s  %10s  %10s" % ("metric".ljust(width), "paper", "measured"),
+             "-" * (width + 26)]
+    for label, paper, measured in pairs:
+        lines.append("%s  %10s  %10s" % (
+            label.ljust(width), _fmt(paper), _fmt(measured)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)

@@ -1,0 +1,33 @@
+"""Extension: container-density (oversubscription) sweep.
+
+The paper evaluates at a conservative 2-3 containers per core and notes
+the gains would grow with consolidation; this sweep verifies that: the
+latency/MPKI advantage and the shared-hit fraction all rise with density.
+"""
+
+from bench_common import BENCH_SCALE, report
+from repro.experiments.ascii_chart import hbar_chart
+from repro.experiments.common import format_table
+from repro.experiments.density import run_density_sweep
+
+
+def bench_density_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_density_sweep,
+        kwargs={"cores": 2, "scale": min(0.5, BENCH_SCALE)},
+        rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        ["containers_per_core", "mean_reduction_pct",
+         "mpki_d_reduction_pct", "shared_hits", "baseline_table_pages",
+         "babelfish_table_pages"],
+        title="Extension: BabelFish's advantage vs containers per core")
+    chart = hbar_chart(rows, "mean_reduction_pct",
+                       label_key="containers_per_core",
+                       title="Mean latency reduction (%) by density")
+    report("density_sweep", table + "\n\n" + chart)
+    reductions = [r["mean_reduction_pct"] for r in rows]
+    assert reductions == sorted(reductions), \
+        "BabelFish's advantage should grow with container density"
+    shares = [r["shared_hits"] for r in rows]
+    assert shares == sorted(shares)

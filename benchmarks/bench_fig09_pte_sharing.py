@@ -1,0 +1,38 @@
+"""Figure 9: page-table entry sharing characterization.
+
+Regenerates the three bars (Total / Active / Active-with-BabelFish) per
+application, broken into shareable / unshareable / THP pte_ts, and checks
+the paper's text claims (53% shareable on average, 93% for functions,
+30% / 57% active reductions, ~8% THP, ~6% unshareable for functions).
+"""
+
+from bench_common import BENCH_SCALE, paper_vs_measured, report
+from repro.experiments.ascii_chart import stacked_fraction_chart
+from repro.experiments.common import format_table
+from repro.experiments.fig9 import run_fig9, summarize
+from repro.experiments.paper_values import FIG9
+
+
+def bench_fig9_pte_sharing(benchmark):
+    rows = benchmark.pedantic(run_fig9, kwargs={"scale": BENCH_SCALE},
+                              rounds=1, iterations=1)
+    table = format_table(
+        [r.as_dict() for r in rows],
+        ["app", "total", "total_shareable", "total_unshareable",
+         "total_thp", "active", "active_babelfish", "shareable_frac",
+         "active_reduction"],
+        title="Figure 9: pte_t shareability (counts in 4KB pte_t equivalents)")
+    summary = summarize(rows)
+    comparison = paper_vs_measured([
+        (key, FIG9.get(key), round(value, 3))
+        for key, value in summary.items()
+    ])
+    chart = stacked_fraction_chart(
+        [r.as_dict() for r in rows],
+        ["total_shareable", "total_unshareable", "total_thp"], "total",
+        title="Total pte_ts composition per app",
+        legend=["shareable", "unshareable", "THP"])
+    report("fig09_pte_sharing",
+           table + "\n\n" + chart + "\n\n" + comparison)
+    assert summary["functions_shareable_fraction"] > 0.8
+    assert summary["avg_shareable_fraction"] > 0.4

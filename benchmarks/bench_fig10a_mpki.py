@@ -1,0 +1,36 @@
+"""Figure 10a: L2 TLB MPKI reduction, instruction and data separately."""
+
+from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from repro.experiments.ascii_chart import grouped_hbar_chart
+from repro.experiments.common import format_table
+from repro.experiments.fig10 import run_fig10, summarize
+from repro.experiments.paper_values import FIG10A
+
+
+def bench_fig10a_mpki(benchmark):
+    rows = benchmark.pedantic(
+        run_fig10, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        ["app", "mpki_d_base", "mpki_d_babelfish", "mpki_d_reduction_pct",
+         "mpki_i_base", "mpki_i_babelfish", "mpki_i_reduction_pct"],
+        title="Figure 10a: L2 TLB MPKI, Baseline vs BabelFish")
+    summary = summarize(rows)
+    comparison = paper_vs_measured([
+        ("serving data MPKI reduction %", FIG10A["serving_data_mpki_reduction_pct"],
+         round(summary["serving_data_mpki_reduction_pct"], 1)),
+        ("serving instr MPKI reduction %", FIG10A["serving_instr_mpki_reduction_pct"],
+         round(summary["serving_instr_mpki_reduction_pct"], 1)),
+    ])
+    chart = grouped_hbar_chart(
+        rows, ["mpki_d_base", "mpki_d_babelfish"],
+        title="Data L2 TLB MPKI (baseline vs BabelFish)",
+        legend=["baseline", "babelfish"], value_format="%.2f")
+    report("fig10a_mpki", table + "\n\n" + chart + "\n\n" + comparison)
+    # Shape: BabelFish reduces MPKI across the board; instruction side
+    # reduces more than data side for serving workloads.
+    for row in rows:
+        assert row["mpki_d_reduction_pct"] > -5
+    assert (summary["serving_instr_mpki_reduction_pct"]
+            > summary["serving_data_mpki_reduction_pct"])

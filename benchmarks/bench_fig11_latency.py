@@ -1,0 +1,43 @@
+"""Figure 11: latency / execution-time reduction attained by BabelFish."""
+
+from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from repro.experiments.ascii_chart import hbar_chart
+from repro.experiments.common import format_table
+from repro.experiments.fig11 import run_fig11, summarize
+from repro.experiments.paper_values import FIG11
+
+
+def bench_fig11_latency(benchmark):
+    results = benchmark.pedantic(
+        run_fig11, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        rounds=1, iterations=1)
+    serving = format_table(
+        results["serving"], ["app", "mean_reduction_pct", "tail_reduction_pct"],
+        title="Figure 11 (serving): request latency reduction %")
+    compute = format_table(
+        results["compute"], ["app", "exec_reduction_pct"],
+        title="Figure 11 (compute): execution time reduction %")
+    functions = format_table(
+        results["functions"], ["app", "exec_reduction_pct"],
+        title="Figure 11 (functions): execution time reduction %")
+    summary = summarize(results)
+    comparison = paper_vs_measured([
+        (key, FIG11[key], round(summary[key], 1)) for key in FIG11
+    ])
+    chart_rows = (
+        [{"app": r["app"], "pct": r["mean_reduction_pct"]}
+         for r in results["serving"]]
+        + [{"app": r["app"], "pct": r["exec_reduction_pct"]}
+           for r in results["compute"] + results["functions"]])
+    chart = hbar_chart(chart_rows, "pct",
+                       title="Latency / execution-time reduction (%)")
+    report("fig11_latency",
+           "\n\n".join([serving, compute, functions, chart, comparison]))
+    # Shape assertions: everything improves; sparse functions improve far
+    # more than dense; database apps more than HTTPd.
+    assert summary["serving_mean_pct"] > 0
+    assert summary["compute_exec_pct"] > 0
+    assert summary["functions_sparse_pct"] > 2 * summary["functions_dense_pct"]
+    by_app = {r["app"]: r["mean_reduction_pct"] for r in results["serving"]}
+    assert by_app["mongodb"] > by_app["httpd"]
+    assert by_app["arangodb"] > by_app["httpd"]

@@ -1,0 +1,29 @@
+"""Section VII-C: BabelFish vs a larger conventional L2 TLB.
+
+Spending BabelFish's extra bits on a 2x conventional L2 TLB recovers only
+a small fraction of the gains (paper: 2.1% / 0.6% / 1.1% / 0.3%).
+"""
+
+from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from repro.experiments.common import format_table
+from repro.experiments.larger_tlb import run_comparison
+from repro.experiments.paper_values import LARGER_TLB
+
+
+def bench_larger_tlb(benchmark):
+    rows = benchmark.pedantic(
+        run_comparison, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        rounds=1, iterations=1)
+    table = format_table(
+        rows, ["metric", "bigtlb_reduction_pct", "babelfish_reduction_pct"],
+        title="BabelFish vs larger conventional L2 TLB (reduction vs "
+              "Baseline, %)")
+    comparison = paper_vs_measured([
+        (row["metric"], LARGER_TLB.get(row["metric"]),
+         row["bigtlb_reduction_pct"]) for row in rows
+    ])
+    report("larger_tlb", table + "\n\n"
+           + "Paper's BigTLB reductions vs ours:\n" + comparison)
+    # Shape: the larger TLB never matches BabelFish.
+    for row in rows:
+        assert row["bigtlb_reduction_pct"] < row["babelfish_reduction_pct"]

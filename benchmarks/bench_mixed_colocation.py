@@ -1,0 +1,26 @@
+"""Extension: mixed-application co-location (see
+repro/experiments/mixed.py). Shows that BabelFish's per-core TLB-sharing
+benefit needs same-CCID neighbours, while page-table sharing still works
+across cores."""
+
+from bench_common import BENCH_CORES, BENCH_SCALE, report
+from repro.experiments.common import format_table
+from repro.experiments.mixed import run_mixed_colocation
+
+CORES = min(BENCH_CORES, 4)
+
+
+def bench_mixed_colocation(benchmark):
+    rows = benchmark.pedantic(
+        run_mixed_colocation,
+        kwargs={"cores": CORES, "scale": min(1.0, BENCH_SCALE)},
+        rounds=1, iterations=1)
+    report("mixed_colocation", format_table(
+        rows, ["scenario", "mean_reduction_pct", "shared_hits",
+               "ccid_groups"],
+        title="Extension: same-app vs mixed-app co-location"))
+    by_scenario = {r["scenario"]: r for r in rows}
+    assert (by_scenario["same-app"]["shared_hits"]
+            > by_scenario["mixed"]["shared_hits"])
+    assert (by_scenario["same-app"]["mean_reduction_pct"]
+            >= by_scenario["mixed"]["mean_reduction_pct"])

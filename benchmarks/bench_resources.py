@@ -1,0 +1,35 @@
+"""Section VII-D: BabelFish resource analysis (area and memory space)."""
+
+import pytest
+
+from bench_common import paper_vs_measured, report
+from repro.experiments.paper_values import RESOURCES
+from repro.experiments.resources import run_resources
+
+
+def bench_resources(benchmark):
+    result = benchmark.pedantic(run_resources, rounds=1, iterations=1)
+    comparison = paper_vs_measured([
+        ("core area overhead %", RESOURCES["core_area_overhead_pct"],
+         result["core_area_overhead_pct"]),
+        ("core area overhead (no PC bitmask) %",
+         RESOURCES["core_area_overhead_no_pc_pct"],
+         result["core_area_overhead_no_pc_pct"]),
+        ("MaskPage space overhead %",
+         RESOURCES["maskpage_space_overhead_pct"],
+         result["maskpage_space_overhead_pct"]),
+        ("counter space overhead %",
+         RESOURCES["counter_space_overhead_pct"],
+         result["counter_space_overhead_pct"]),
+        ("total space overhead %",
+         RESOURCES["total_space_overhead_pct"],
+         result["total_space_overhead_pct"]),
+        ("measured page-table pages", None,
+         result["measured"]["page_table_pages"]),
+        ("measured MaskPage overhead %", None,
+         result["measured"]["maskpage_space_overhead_pct"]),
+    ])
+    report("resources", comparison)
+    assert result["core_area_overhead_pct"] == pytest.approx(0.4, abs=0.05)
+    assert result["total_space_overhead_pct"] == pytest.approx(0.244,
+                                                               abs=0.02)

@@ -1,0 +1,30 @@
+"""Table II: fraction of each improvement due to L2 TLB effects.
+
+Measured by ablation (BabelFish-PT vs full BabelFish); see
+repro.experiments.table2 for the attribution discussion.
+"""
+
+from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from repro.experiments.common import format_table
+from repro.experiments.paper_values import TABLE2
+from repro.experiments.table2 import run_table2, summarize
+
+
+def bench_table2_tlb_fraction(benchmark):
+    rows = benchmark.pedantic(
+        run_table2, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        rounds=1, iterations=1)
+    table = format_table(rows, ["app", "tlb_fraction"],
+                         title="Table II: fraction of gains from L2 TLB "
+                               "entry sharing")
+    summary = summarize(rows)
+    comparison = paper_vs_measured([
+        (key, TABLE2.get(key), round(value, 2) if value is not None else None)
+        for key, value in summary.items()
+    ])
+    report("table2_tlb_fraction", table + "\n\n" + comparison)
+    # Shape: database/web serving attribute more to TLB sharing than the
+    # compute and sparse-function workloads do.
+    assert summary["mongodb"] > summary["graphchi"]
+    assert summary["httpd"] > summary["fio"]
+    assert summary["sparse_average"] < 0.25

@@ -1,0 +1,28 @@
+"""Table III: L2 TLB area / access time / energy / leakage at 22nm."""
+
+import pytest
+
+from bench_common import report
+from repro.experiments.common import format_table
+from repro.experiments.table3 import bitmask_width_sweep, run_table3
+
+
+def bench_table3_cacti(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        ["config", "bits_per_entry", "area_mm2", "paper_area_mm2",
+         "access_time_ps", "paper_access_time_ps", "dyn_energy_pj",
+         "paper_dyn_energy_pj", "leakage_mw", "paper_leakage_mw"],
+        title="Table III: L2 TLB parameters at 22nm (CACTI-style model)")
+    sweep = format_table(
+        bitmask_width_sweep(),
+        ["pc_bits", "area_mm2", "access_time_ps", "dyn_energy_pj",
+         "leakage_mw"],
+        title="Extension: Table III vs PC-bitmask width")
+    report("table3_cacti", table + "\n\n" + sweep)
+    for row in rows:
+        assert row["area_mm2"] == pytest.approx(row["paper_area_mm2"],
+                                                rel=0.05)
+        assert row["access_time_ps"] == pytest.approx(
+            row["paper_access_time_ps"], rel=0.05)

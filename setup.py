@@ -1,0 +1,6 @@
+"""Setup shim: enables editable installs on environments without the
+`wheel` package (offline). Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

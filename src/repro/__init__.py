@@ -1,0 +1,18 @@
+"""repro — a reproduction of *BabelFish: Fusing Address Translations for
+Containers* (Skarlatos et al., ISCA 2020).
+
+The package provides:
+
+- :mod:`repro.hw` — caches, DRAM, TLBs, PWC, and a CACTI-style SRAM model
+  (Table I / Table III substrate);
+- :mod:`repro.kernel` — a Linux-like virtual memory kernel: page tables,
+  page cache, fork/CoW, THP, scheduling;
+- :mod:`repro.core` — BabelFish itself: CCID-tagged TLB sharing (Figure 8)
+  and shared page tables with MaskPage-tracked CoW (Sections III-IV);
+- :mod:`repro.sim` — the trace-driven multi-core simulator;
+- :mod:`repro.containers` — a container engine and FaaS runtime;
+- :mod:`repro.workloads` — the paper's workload models;
+- :mod:`repro.experiments` — one harness per table/figure of Section VII.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""Container substrate: images, a Docker-like engine, and a FaaS runtime.
+
+Containers are modelled the way the paper describes them (Section II-A):
+one process per container, created by forking a per-image zygote process
+that has the image's binary, libraries, and infrastructure files mapped.
+All containers of one (user, application) pair belong to one CCID group.
+"""
+
+from repro.containers.image import ContainerImage, FileSpec
+from repro.containers.engine import Container, ContainerEngine
+from repro.containers.faas import FaaSPlatform, FunctionResult
+
+__all__ = [
+    "ContainerImage",
+    "FileSpec",
+    "Container",
+    "ContainerEngine",
+    "FaaSPlatform",
+    "FunctionResult",
+]

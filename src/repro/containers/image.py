@@ -1,0 +1,62 @@
+"""Container images: the files a container maps at launch.
+
+An image bundles the application binary (code + writable data), shared
+libraries/middleware, and container-infrastructure files (the runtime
+pieces the paper's Figure 9 calls "infrastructure pages", which dominate
+the shareable pte_ts of serverless functions).
+"""
+
+import dataclasses
+
+from repro.hw.types import ENTRIES_PER_TABLE
+
+
+def align_pages(npages, alignment=ENTRIES_PER_TABLE):
+    """Round a page count up to PTE-table (2MB) alignment so successive
+    mappings in a segment stay table-aligned for sharing."""
+    return (npages + alignment - 1) // alignment * alignment
+
+
+@dataclasses.dataclass(frozen=True)
+class FileSpec:
+    name: str
+    pages: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ContainerImage:
+    name: str
+    #: Application text (read-execute, MAP_PRIVATE).
+    binary_pages: int = 48
+    #: Application writable data/.bss image (MAP_PRIVATE, CoW on write).
+    binary_data_pages: int = 8
+    #: Shared libraries / middleware text (read-execute, MAP_PRIVATE).
+    lib_pages: int = 256
+    #: Library writable data (MAP_PRIVATE, CoW on write).
+    lib_data_pages: int = 16
+    #: Container runtime infrastructure (read-only, MAP_PRIVATE).
+    infra_pages: int = 128
+    #: Anonymous heap reserved at launch (pages; populated lazily).
+    heap_pages: int = 4096
+    #: Anonymous stack.
+    stack_pages: int = 64
+    #: Pages the runtime touches during bring-up (docker start): infra
+    #: plus a slice of the libraries and binary.
+    bringup_touch_pages: int = 220
+
+    def materialize(self, kernel):
+        """Create the image's files in the kernel (the pre-created image
+        the paper's bring-up measurement starts from)."""
+        files = {
+            "binary": kernel.create_file("%s/bin" % self.name, self.binary_pages),
+            "binary_data": kernel.create_file("%s/bin.data" % self.name,
+                                              max(1, self.binary_data_pages)),
+            "libs": kernel.create_file("%s/libs" % self.name, self.lib_pages),
+            "lib_data": kernel.create_file("%s/libs.data" % self.name,
+                                           max(1, self.lib_data_pages)),
+            "infra": kernel.create_file("%s/infra" % self.name, self.infra_pages),
+        }
+        # A pre-created image has its layers in the page cache already.
+        for file in files.values():
+            kernel.page_cache.populate(file)
+        return files

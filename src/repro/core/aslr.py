@@ -1,0 +1,52 @@
+"""ASLR configurations for BabelFish (Section IV-D).
+
+Three regimes:
+
+- ``INHERITED`` — the conventional baseline: containers are forked from a
+  common parent and inherit its randomized layout, so group members
+  naturally share VPNs (this is also why the paper's native Figure 9
+  measurements see identical {VPN, PPN} pairs).
+- ``SW`` — ASLR-SW: one private seed per CCID group; all members get the
+  same randomized layout. Minimal OS changes; sharing can happen at every
+  TLB level.
+- ``HW`` — ASLR-HW: every process gets its own seed. A logic module
+  between the L1 and L2 TLBs adds the per-segment ``diff_i_offset[]`` so
+  the L2 TLB and page tables operate on the group's shared layout. Costs
+  2 cycles on an L1 TLB miss and confines sharing to the L2 TLB and below.
+  This is the paper's (and our) default for BabelFish evaluations.
+"""
+
+import enum
+
+from repro.kernel.aslr_layout import randomized_layout
+
+
+class ASLRMode(enum.Enum):
+    INHERITED = "inherited"
+    SW = "aslr-sw"
+    HW = "aslr-hw"
+
+    @property
+    def per_process_layout(self):
+        return self is ASLRMode.HW
+
+    @property
+    def shares_l1(self):
+        """Whether translation sharing is allowed at the L1 TLB.
+
+        Under ASLR-HW the transformation sits between L1 and L2, so the
+        L1 TLB keeps per-process (PCID-matched) entries only.
+        """
+        return self is not ASLRMode.HW
+
+
+def group_layout_for(group, mode):
+    """The CCID group's shared layout (what page tables are built in)."""
+    return randomized_layout(group.aslr_seed)
+
+
+def process_layout_for(group, mode, pid_seed):
+    """The layout the process itself observes."""
+    if mode.per_process_layout:
+        return randomized_layout((group.aslr_seed << 20) ^ pid_seed)
+    return group_layout_for(group, mode)

@@ -1,0 +1,116 @@
+"""The BabelFish TLB lookup algorithm — Figure 8's flowchart.
+
+Entries are matched on VPN *and CCID*. On a match:
+
+- Ownership set: hit only if the PCID also matches (private translation).
+- Ownership clear (shared): hit unless the requesting process holds a
+  private copy of the page — its bit in the PC bitmask is set. The bitmask
+  check (and its extra latency) is skipped when ORPC is clear (Figure 5b).
+- A write hit on a CoW translation raises a CoW page fault (boxes 5/6).
+
+The lookup is policy-only: it layers on the generic
+:class:`repro.hw.tlb.MultiSizeTLB` structures.
+"""
+
+import dataclasses
+
+from repro.hw.types import PageSize
+from repro.hw.tlb import TLBEntry
+from repro.core.mask_page import region_of
+
+
+def entry_region(entry):
+    """1GB MaskPage region covered by a TLB entry (any page size)."""
+    vpn4k = entry.vpn << (entry.page_size.shift - PageSize.SIZE_4K.shift)
+    return region_of(vpn4k)
+
+
+@dataclasses.dataclass
+class LookupResult:
+    entry: object            # TLBEntry or None
+    page_size: object        # PageSize or None
+    #: The PC bitmask had to be consulted: the L2 TLB access takes the
+    #: long (12-cycle) time instead of the short (10-cycle) one.
+    consulted_bitmask: bool = False
+    #: The hit entry is CoW and the access is a write: CoW page fault.
+    cow_fault: bool = False
+
+    @property
+    def hit(self):
+        return self.entry is not None and not self.cow_fault
+
+
+class BabelFishLookup:
+    """Reusable lookup engine for one TLB level.
+
+    ``domain_fn`` maps a TLB entry to the MaskPage scope a process's PC
+    bit is keyed by: the 1GB region by default, or the 2MB range under
+    the Appendix's per-range indirection extension.
+    """
+
+    def __init__(self, multi_tlb, domain_fn=None):
+        self.multi_tlb = multi_tlb
+        self.domain_fn = domain_fn or entry_region
+
+    def lookup(self, vpn4k, proc, is_write=False):
+        consulted = [False]
+        pcid, ccid = proc.pcid, proc.ccid
+        pc_bits = proc.pc_bits
+        domain_fn = self.domain_fn
+
+        def match(entry):
+            if entry.ccid != ccid:
+                return False                            # box 1: no CCID match
+            if entry.o_bit:
+                return entry.pcid == pcid               # boxes 2, 9
+            if entry.orpc:
+                consulted[0] = True                     # box 3 (long access)
+                bit = pc_bits.get(domain_fn(entry))
+                if bit is not None and (entry.pc_mask >> bit) & 1:
+                    return False                        # process has private copy
+            if is_write and not entry.writable and not entry.cow:
+                return False                            # permission miss
+            return True
+
+        entry, size = self.multi_tlb.lookup(vpn4k, match)
+        cow_fault = bool(entry is not None and is_write and entry.cow)  # box 5/6
+        return LookupResult(entry, size, consulted[0], cow_fault)
+
+
+def conventional_lookup(multi_tlb, vpn4k, proc, is_write=False):
+    """Baseline lookup: VPN + PCID match (Figure 1), permission-checked."""
+
+    def match(entry):
+        if entry.pcid != proc.pcid:
+            return False
+        if is_write and not entry.writable and not entry.cow:
+            return False
+        return True
+
+    entry, size = multi_tlb.lookup(vpn4k, match)
+    cow_fault = bool(entry is not None and is_write and entry.cow)
+    return LookupResult(entry, size, False, cow_fault)
+
+
+def babelfish_fill_fields(fill_info, load_bitmask=True):
+    """Derive the stored O-PC fields for a TLB fill.
+
+    ``fill_info`` is ``(o_bit, orpc, pc_mask)`` from the page-table policy.
+    Per Figure 5(b), the PC bitmask is only loaded into the TLB when O is
+    clear and ORPC is set; otherwise the storage is cleared. Returns
+    ``(o_bit, orpc, stored_mask, long_access)``.
+    """
+    o_bit, orpc, pc_mask = fill_info
+    if not o_bit and orpc and load_bitmask:
+        return o_bit, orpc, pc_mask, True
+    return o_bit, orpc, 0, False
+
+
+def make_entry(vpn, pte, proc, fill_info, page_size):
+    """Build a BabelFish TLB entry from a walk result."""
+    o_bit, orpc, mask, _long = babelfish_fill_fields(fill_info)
+    return TLBEntry(
+        vpn=vpn, ppn=pte.ppn, page_size=page_size, pcid=proc.pcid,
+        ccid=proc.ccid, writable=pte.writable, user=pte.user, cow=pte.cow,
+        o_bit=o_bit, orpc=orpc, pc_mask=mask, inserted_by=proc.pid,
+    )

@@ -1,0 +1,65 @@
+"""Container Context Identifiers (Section III-A).
+
+All containers created by a user for the same application get one CCID;
+processes in a CCID group are the sharing domain for TLB entries and page
+tables. This matches the paper's conservative security domain (Section V):
+a single user's containers running a single application.
+"""
+
+import itertools
+
+CCID_BITS = 12
+
+
+class CCIDGroup:
+    def __init__(self, ccid, user, application, aslr_seed):
+        self.ccid = ccid
+        self.user = user
+        self.application = application
+        #: Per-group ASLR seed: under ASLR-SW every process in the group
+        #: derives its layout from this seed (Section IV-D).
+        self.aslr_seed = aslr_seed
+        self.members = []
+
+    def add(self, process):
+        self.members.append(process)
+
+    def remove(self, process):
+        if process in self.members:
+            self.members.remove(process)
+
+    def live_members(self):
+        return [p for p in self.members if p.alive]
+
+    def __repr__(self):
+        return "<CCIDGroup %d %s/%s members=%d>" % (
+            self.ccid, self.user, self.application, len(self.members))
+
+
+class CCIDRegistry:
+    """Allocates 12-bit CCIDs, one per (user, application) pair."""
+
+    def __init__(self, seed=1234):
+        self._next = itertools.count(1)
+        self._groups = {}
+        self._by_ccid = {}
+        self._seed = seed
+
+    def group_for(self, user, application):
+        key = (user, application)
+        group = self._groups.get(key)
+        if group is None:
+            ccid = next(self._next)
+            if ccid >= (1 << CCID_BITS):
+                raise ValueError("out of CCIDs")
+            group = CCIDGroup(ccid, user, application,
+                              aslr_seed=hash((self._seed, user, application)) & 0xFFFFFFFF)
+            self._groups[key] = group
+            self._by_ccid[ccid] = group
+        return group
+
+    def by_ccid(self, ccid):
+        return self._by_ccid.get(ccid)
+
+    def __len__(self):
+        return len(self._groups)

@@ -1,0 +1,157 @@
+"""MaskPages: OS-side storage for PC bitmasks (Appendix, Figures 12-13).
+
+One MaskPage is associated with the set of PMD tables of a CCID group that
+cover one 1GB region. It holds:
+
+- up to 512 PC bitmasks, one per pmd_t entry (i.e. one per 2MB range /
+  shared PTE table), and
+- a single ordered ``pid_list`` of up to 32 pids: the processes that have
+  performed a CoW anywhere in the region. Position *i* in the list owns
+  bit *i* of every bitmask in this MaskPage.
+
+The PC bitmask is *not* stored in page-table entries (that would change
+their layout); the hardware fetches it from the MaskPage in parallel with
+the pte_t when the pmd_t's ORPC bit demands it.
+"""
+
+from repro.hw.types import ENTRIES_PER_TABLE
+from repro.core.opc import MAX_PRIVATE_COPIES
+from repro.kernel.frames import FrameKind
+
+#: 4K VPN bits consumed below a 1GB region (PMD-table coverage).
+REGION_SHIFT = 18
+
+
+def region_of(vpn):
+    """1GB region id of a 4K VPN — selects the MaskPage."""
+    return vpn >> REGION_SHIFT
+
+
+def pmd_index_of(vpn):
+    """pmd_t index within the region — selects the PC bitmask."""
+    return (vpn >> 9) & (ENTRIES_PER_TABLE - 1)
+
+
+class MaskPageFull(Exception):
+    """A 33rd process attempted a CoW in the region (Appendix): the group
+    must revert to non-shared translations for this PMD table set."""
+
+
+class MaskPage:
+    """One MaskPage, covering one 1GB region of a CCID group.
+
+    ``per_range`` enables the Appendix's "extra indirection" extension:
+    instead of one pid_list for the whole PMD table set (32 writers per
+    1GB), each pmd_t entry gets its own pid_list (32 writers per 2MB
+    range). The hardware cost is one more pointer dereference when
+    loading a PC bitmask; the TLB field stays 32 bits.
+    """
+
+    def __init__(self, ccid, region, frame=None,
+                 max_writers=MAX_PRIVATE_COPIES, per_range=False):
+        self.ccid = ccid
+        self.region = region
+        #: Physical frame backing this MaskPage (0.19% space overhead of
+        #: Section VII-D comes from these).
+        self.frame = frame
+        self.max_writers = max_writers
+        self.per_range = per_range
+        self.pid_list = []
+        self._range_pid_lists = {}
+        self._masks = {}
+
+    def _list_for(self, pmd_index):
+        if not self.per_range:
+            return self.pid_list
+        return self._range_pid_lists.setdefault(pmd_index, [])
+
+    def bit_of(self, pid, pmd_index=None):
+        """Bit index assigned to ``pid``, or None if it never CoW'ed in
+        the covered scope (the region, or the 2MB range when indirected)."""
+        pid_list = self._list_for(pmd_index if self.per_range else None)
+        try:
+            return pid_list.index(pid)
+        except ValueError:
+            return None
+
+    def assign_bit(self, pid, pmd_index=None):
+        """First CoW by ``pid`` in the scope: append to its pid_list.
+
+        Raises :class:`MaskPageFull` when the list already holds 32
+        writers.
+        """
+        pid_list = self._list_for(pmd_index if self.per_range else None)
+        try:
+            return pid_list.index(pid)
+        except ValueError:
+            pass
+        if len(pid_list) >= self.max_writers:
+            raise MaskPageFull(
+                "region %#x of CCID %d already has %d writers"
+                % (self.region, self.ccid, self.max_writers))
+        pid_list.append(pid)
+        return len(pid_list) - 1
+
+    def set_private(self, bit, pmd_index):
+        """Record that bit-holder has a private copy of the 2MB range."""
+        self._masks[pmd_index] = self._masks.get(pmd_index, 0) | (1 << bit)
+
+    def mask(self, pmd_index):
+        return self._masks.get(pmd_index, 0)
+
+    def orpc(self, pmd_index):
+        return self._masks.get(pmd_index, 0) != 0
+
+    @property
+    def writers(self):
+        if self.per_range:
+            return sum(len(lst) for lst in self._range_pid_lists.values())
+        return len(self.pid_list)
+
+    def __repr__(self):
+        return "<MaskPage ccid=%d region=%#x writers=%d masks=%d>" % (
+            self.ccid, self.region, self.writers, len(self._masks))
+
+
+class MaskPageDirectory:
+    """All MaskPages, keyed by (ccid, region); allocates their frames."""
+
+    def __init__(self, allocator=None, max_writers=MAX_PRIVATE_COPIES,
+                 per_range_lists=False):
+        self.allocator = allocator
+        self.max_writers = max_writers
+        #: Appendix extension: per-2MB-range pid lists via indirection.
+        self.per_range_lists = per_range_lists
+        self._pages = {}
+
+    def get(self, ccid, vpn):
+        return self._pages.get((ccid, region_of(vpn)))
+
+    def get_or_create(self, ccid, vpn):
+        key = (ccid, region_of(vpn))
+        page = self._pages.get(key)
+        if page is None:
+            frame = (self.allocator.alloc(FrameKind.MASK_PAGE)
+                     if self.allocator is not None else None)
+            page = MaskPage(ccid, key[1], frame, max_writers=self.max_writers,
+                            per_range=self.per_range_lists)
+            self._pages[key] = page
+        return page
+
+    def drop(self, ccid, vpn):
+        page = self._pages.pop((ccid, region_of(vpn)), None)
+        if page is not None and page.frame is not None and self.allocator:
+            self.allocator.decref(page.frame)
+        return page
+
+    def mask_for(self, ccid, vpn):
+        """PC bitmask covering a 4K VPN (0 when no MaskPage exists)."""
+        page = self.get(ccid, vpn)
+        return page.mask(pmd_index_of(vpn)) if page else 0
+
+    @property
+    def total_pages(self):
+        return len(self._pages)
+
+    def __iter__(self):
+        return iter(self._pages.values())

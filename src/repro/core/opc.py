@@ -1,0 +1,59 @@
+"""The Ownership-PrivateCopy (O-PC) field (Figure 4).
+
+The field packs:
+
+- ``O`` — the Ownership bit: the translation is private to one process
+  (TLB hits additionally require a PCID match).
+- ``PC`` — a 32-bit PrivateCopy bitmask: bit *i* set means the *i*-th
+  process in the MaskPage's pid_list holds a private copy of this page.
+- ``ORPC`` — the OR of all PC bits, letting the hardware skip reading or
+  loading the bitmask when nothing is privately copied (Figure 5b).
+"""
+
+MAX_PRIVATE_COPIES = 32
+PC_MASK_ALL = (1 << MAX_PRIVATE_COPIES) - 1
+
+
+class OPCField:
+    """A convenience wrapper over the packed O-PC bits."""
+
+    __slots__ = ("o_bit", "pc_mask")
+
+    def __init__(self, o_bit=False, pc_mask=0):
+        if pc_mask & ~PC_MASK_ALL:
+            raise ValueError("PC bitmask wider than %d bits" % MAX_PRIVATE_COPIES)
+        self.o_bit = o_bit
+        self.pc_mask = pc_mask
+
+    @property
+    def orpc(self):
+        return self.pc_mask != 0
+
+    def set_bit(self, bit):
+        if not 0 <= bit < MAX_PRIVATE_COPIES:
+            raise ValueError("PC bit %d out of range" % bit)
+        self.pc_mask |= 1 << bit
+
+    def clear_bit(self, bit):
+        self.pc_mask &= ~(1 << bit)
+
+    def test_bit(self, bit):
+        return bool((self.pc_mask >> bit) & 1)
+
+    def packed(self):
+        """The field as stored in a TLB entry: PC | ORPC | O (Figure 4)."""
+        return (self.pc_mask << 2) | (int(self.orpc) << 1) | int(self.o_bit)
+
+    @classmethod
+    def unpack(cls, value):
+        field = cls(bool(value & 1), value >> 2)
+        return field
+
+    def __eq__(self, other):
+        return (isinstance(other, OPCField)
+                and self.o_bit == other.o_bit
+                and self.pc_mask == other.pc_mask)
+
+    def __repr__(self):
+        return "<O-PC O=%d ORPC=%d PC=%#010x>" % (
+            self.o_bit, self.orpc, self.pc_mask)

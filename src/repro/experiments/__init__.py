@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per table/figure of Section VII.
+
+Every module exposes a ``run_*`` function returning plain dict rows and a
+``format_*`` helper that renders the paper-vs-measured comparison. The
+benchmarks under ``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.experiments.common import (
+    AppRun,
+    build_environment,
+    deploy_app,
+    run_app,
+    run_functions,
+    clear_run_cache,
+)
+
+__all__ = [
+    "AppRun",
+    "build_environment",
+    "deploy_app",
+    "run_app",
+    "run_functions",
+    "clear_run_cache",
+]

@@ -1,0 +1,84 @@
+"""ASCII bar charts for the regenerated figures.
+
+The paper's figures are bar charts; the benchmark harness renders their
+text-mode equivalents into ``benchmarks/out/`` so a reproduction run can
+be eyeballed against the paper without a plotting stack.
+"""
+
+
+def hbar_chart(rows, value_key, label_key="app", title="", width=46,
+               value_format="%.1f", max_value=None):
+    """Horizontal bar chart from dict rows.
+
+    ``rows`` is a list of dicts; one bar per row.
+    """
+    if not rows:
+        return title
+    values = [float(r[value_key]) for r in rows]
+    top = max_value if max_value is not None else max(max(values), 1e-9)
+    label_width = max(len(str(r[label_key])) for r in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for row, value in zip(rows, values):
+        filled = int(round(width * max(0.0, value) / top)) if top else 0
+        bar = "#" * min(filled, width)
+        lines.append("%s | %-*s %s" % (
+            str(row[label_key]).ljust(label_width), width, bar,
+            value_format % value))
+    return "\n".join(lines)
+
+
+def grouped_hbar_chart(rows, value_keys, label_key="app", title="",
+                       width=40, legend=None, value_format="%.1f"):
+    """Grouped bars: one group per row, one bar per value key."""
+    if not rows:
+        return title
+    top = max(max(float(r[key]) for key in value_keys) for r in rows)
+    top = max(top, 1e-9)
+    label_width = max(len(str(r[label_key])) for r in rows)
+    marks = "#=+*"
+    lines = []
+    if title:
+        lines.append(title)
+    if legend is None:
+        legend = value_keys
+    lines.append(" " * label_width + "   " + "   ".join(
+        "%s=%s" % (marks[i % len(marks)], name)
+        for i, name in enumerate(legend)))
+    for row in rows:
+        for i, key in enumerate(value_keys):
+            value = float(row[key])
+            filled = int(round(width * max(0.0, value) / top))
+            label = str(row[label_key]) if i == 0 else ""
+            lines.append("%s | %-*s %s" % (
+                label.ljust(label_width), width,
+                marks[i % len(marks)] * min(filled, width),
+                value_format % value))
+    return "\n".join(lines)
+
+
+def stacked_fraction_chart(rows, part_keys, total_key, label_key="app",
+                           title="", width=50, legend=None):
+    """Stacked 100%-style bars (Figure 9's shareable/unshareable/THP)."""
+    if not rows:
+        return title
+    marks = "#-~"
+    label_width = max(len(str(r[label_key])) for r in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    if legend is None:
+        legend = part_keys
+    lines.append(" " * label_width + "   " + "   ".join(
+        "%s=%s" % (marks[i % len(marks)], name)
+        for i, name in enumerate(legend)))
+    for row in rows:
+        total = float(row[total_key]) or 1.0
+        bar = ""
+        for i, key in enumerate(part_keys):
+            share = float(row[key]) / total
+            bar += marks[i % len(marks)] * int(round(width * share))
+        lines.append("%s | %s" % (str(row[label_key]).ljust(label_width),
+                                  bar[:width + 3]))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Section VII-C: serverless function bring-up time (docker start).
+
+Bring-up is measured as the time to start a function container from a
+pre-created image: Docker engine overhead + fork (page-table replication
+under Baseline; sharing under BabelFish) + the runtime's bring-up page
+touches (redundant minor faults under Baseline; mostly resolved
+translations under BabelFish). The paper reports an 8% reduction.
+"""
+
+from repro.experiments.common import config_by_name, pct_reduction, run_functions
+
+
+def run_bringup(cores=8, scale=1.0):
+    base = run_functions(config_by_name("Baseline"), dense=True,
+                         cores=cores, scale=scale)
+    bf = run_functions(config_by_name("BabelFish"), dense=True,
+                       cores=cores, scale=scale)
+    return {
+        "baseline_cycles": base.bringup_cycles,
+        "babelfish_cycles": bf.bringup_cycles,
+        "reduction_pct": round(pct_reduction(base.bringup_cycles,
+                                             bf.bringup_cycles), 1),
+        # Where the paging work went: faults taken during bring-up.
+        "baseline_minor_faults": base.result.stats.minor_faults,
+        "babelfish_minor_faults": bf.result.stats.minor_faults,
+    }

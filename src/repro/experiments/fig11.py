@@ -1,0 +1,91 @@
+"""Figure 11: latency / execution time reduction (Section VII-C).
+
+- Data serving: reduction in mean and 95th-percentile request latency.
+- Compute: reduction in execution time.
+- Functions: reduction in execution time of the non-leading functions,
+  dense and sparse inputs.
+"""
+
+from repro.experiments.common import (
+    config_by_name,
+    pct_reduction,
+    run_app,
+    run_functions,
+)
+from repro.workloads.profiles import COMPUTE_APPS, FUNCTION_NAMES, SERVING_APPS
+
+
+def serving_rows(cores=8, scale=1.0, config_name="BabelFish"):
+    rows = []
+    for app in SERVING_APPS:
+        base = run_app(app, config_by_name("Baseline"), cores=cores,
+                       scale=scale).result
+        other = run_app(app, config_by_name(config_name), cores=cores,
+                        scale=scale).result
+        rows.append({
+            "app": app,
+            "mean_reduction_pct": round(pct_reduction(
+                base.mean_latency, other.mean_latency), 1),
+            "tail_reduction_pct": round(pct_reduction(
+                base.tail_latency(), other.tail_latency()), 1),
+        })
+    return rows
+
+
+def compute_rows(cores=8, scale=1.0, config_name="BabelFish"):
+    rows = []
+    for app in COMPUTE_APPS:
+        base = run_app(app, config_by_name("Baseline"), cores=cores,
+                       scale=scale).result
+        other = run_app(app, config_by_name(config_name), cores=cores,
+                        scale=scale).result
+        rows.append({
+            "app": app,
+            "exec_reduction_pct": round(pct_reduction(
+                sum(base.process_cycles.values()),
+                sum(other.process_cycles.values())), 1),
+        })
+    return rows
+
+
+def function_rows(cores=8, scale=1.0, config_name="BabelFish"):
+    rows = []
+    for dense in (True, False):
+        base = run_functions(config_by_name("Baseline"), dense=dense,
+                             cores=cores, scale=scale)
+        other = run_functions(config_by_name(config_name), dense=dense,
+                              cores=cores, scale=scale)
+        for name in FUNCTION_NAMES:
+            rows.append({
+                "app": "%s-%s" % (name, "dense" if dense else "sparse"),
+                "exec_reduction_pct": round(pct_reduction(
+                    base.exec_cycles[name], other.exec_cycles[name]), 1),
+            })
+    return rows
+
+
+def run_fig11(cores=8, scale=1.0, config_name="BabelFish"):
+    return {
+        "serving": serving_rows(cores, scale, config_name),
+        "compute": compute_rows(cores, scale, config_name),
+        "functions": function_rows(cores, scale, config_name),
+    }
+
+
+def summarize(results):
+    serving = results["serving"]
+    compute = results["compute"]
+    functions = results["functions"]
+    dense = [r for r in functions if r["app"].endswith("dense")]
+    sparse = [r for r in functions if r["app"].endswith("sparse")]
+
+    def avg(rows, key):
+        return sum(r[key] for r in rows) / len(rows) if rows else 0.0
+
+    return {
+        "serving_mean_pct": avg(serving, "mean_reduction_pct"),
+        "serving_tail_pct": avg(serving, "tail_reduction_pct"),
+        "compute_exec_pct": avg(compute, "exec_reduction_pct"),
+        "functions_dense_pct": avg(dense, "exec_reduction_pct"),
+        "functions_sparse_pct": avg(sparse, "exec_reduction_pct"),
+    }

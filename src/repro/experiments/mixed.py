@@ -1,0 +1,105 @@
+"""Extension experiment: mixed-application co-location.
+
+The paper's evaluation co-locates containers of the *same* application on
+each core, which is BabelFish's best case (everything in one CCID group).
+Deployments also mix applications per core; the paper notes containers
+"share middleware both within and across applications", but its
+conservative security domain (Section V) confines translation sharing to
+one application. This experiment quantifies what that policy costs: the
+same total container count, either paired same-app per core or mixed
+(one MongoDB + one HTTPd per core).
+"""
+
+import itertools
+
+from repro.experiments.common import (
+    WARM_SLICE,
+    _make_trace,
+    _os_warmup,
+    Deployment,
+    build_environment,
+    config_by_name,
+    pct_reduction,
+)
+from repro.containers.image import align_pages
+from repro.kernel.vma import SegmentKind, VMAKind
+from repro.workloads.profiles import APP_PROFILES
+
+
+def _deploy_one(env, profile, core):
+    """Deploy a single container of ``profile`` pinned to ``core``."""
+    kernel = env.kernel
+    engine = env.engine
+    state = engine.zygote_for(profile.image)
+    dataset_name = "%s/dataset" % profile.name
+    dataset = getattr(state, "dataset_file", None)
+    if dataset is None:
+        dataset = kernel.create_file(dataset_name, profile.dataset_pages)
+        kernel.page_cache.populate(dataset)
+        kernel.mmap(state.proc, SegmentKind.MMAP, 0, profile.dataset_pages,
+                    VMAKind.FILE_SHARED, file=dataset,
+                    writable=profile.dataset_writes, name="dataset")
+        state.dataset_file = dataset
+    container, _cycles = engine.launch(profile.image)
+    container.core = core
+    if profile.thp_blocks:
+        thp_off = align_pages(profile.image.heap_pages)
+        kernel.mmap(container.proc, SegmentKind.HEAP, thp_off,
+                    profile.thp_blocks * 512, VMAKind.ANON, huge_ok=True,
+                    name="thp-buffer")
+        container.thp_offset = thp_off
+    return container
+
+
+def _run_mix(config, pairs, cores, scale):
+    """``pairs`` maps core -> (profile_a, profile_b)."""
+    env = build_environment(config, cores=cores)
+    deployments = {}
+    containers = []
+    for core in range(cores):
+        for profile in pairs[core]:
+            container = _deploy_one(env, profile, core)
+            containers.append((container, profile))
+            deployments.setdefault(profile.name, []).append(container)
+    for name, group in deployments.items():
+        _os_warmup(env, Deployment(APP_PROFILES[name],
+                                   group[0].group, group, None))
+    sim = env.sim
+    for phase, tag in ((WARM_SLICE, False), (1.0, True)):
+        for container, profile in containers:
+            requests = max(2, int(profile.requests * scale * phase))
+            sim.attach(container.proc,
+                       _make_trace(profile, container.index, requests,
+                                   tag=tag,
+                                   request_base=container.index * 1_000_000),
+                       container.core)
+        result = sim.run()
+        if not tag:
+            sim.reset_measurement()
+            env.kernel.reset_fault_counters()
+    return result, env
+
+
+def run_mixed_colocation(cores=4, scale=0.5, app_a="mongodb",
+                         app_b="httpd"):
+    """Compare BabelFish's gains under same-app vs mixed-app co-location."""
+    profile_a = APP_PROFILES[app_a]
+    profile_b = APP_PROFILES[app_b]
+    rows = []
+    scenarios = {
+        "same-app": {core: ((profile_a, profile_a) if core % 2 == 0
+                            else (profile_b, profile_b))
+                     for core in range(cores)},
+        "mixed": {core: (profile_a, profile_b) for core in range(cores)},
+    }
+    for label, pairs in scenarios.items():
+        base, _env = _run_mix(config_by_name("Baseline"), pairs, cores, scale)
+        bf, env = _run_mix(config_by_name("BabelFish"), pairs, cores, scale)
+        rows.append({
+            "scenario": label,
+            "mean_reduction_pct": round(pct_reduction(
+                base.mean_latency, bf.mean_latency), 2),
+            "shared_hits": round(bf.stats.shared_hit_fraction(), 3),
+            "ccid_groups": len(env.registry),
+        })
+    return rows

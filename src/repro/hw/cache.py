@@ -1,0 +1,161 @@
+"""Set-associative write-back caches and the 3-level hierarchy of Table I.
+
+The timing model is sequential-lookup: an access probes L1, then L2, then
+the shared L3, then DRAM, accumulating each level's access time. Fills
+propagate to every level on the way back (non-inclusive, fill-on-miss).
+This is the level of fidelity the paper's translation study needs: what
+matters is *which level* a page-walk request or data access hits in, which
+is determined by sharing of physical lines across containers.
+"""
+
+from repro.hw.types import CACHE_LINE_SIZE, AccessKind, MemoryLevel
+
+
+class SetAssociativeCache:
+    """A single set-associative, write-back, LRU cache."""
+
+    def __init__(self, params):
+        self.params = params
+        self.name = params.name
+        self.line_bits = params.line_size.bit_length() - 1
+        self.num_sets = params.num_sets
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two: %d" % self.num_sets)
+        self.set_mask = self.num_sets - 1
+        self.ways = params.ways
+        # One dict per set: tag -> last-use stamp. Dicts keep us O(1) on
+        # lookup; LRU victim search is O(ways), ways <= 16.
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self._dirty = set()
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def _index_tag(self, paddr):
+        line = paddr >> self.line_bits
+        return line & self.set_mask, line >> (self.num_sets.bit_length() - 1)
+
+    def lookup(self, paddr, is_write=False):
+        """Probe the cache; returns True on hit and updates LRU/dirty state."""
+        index, tag = self._index_tag(paddr)
+        cset = self._sets[index]
+        if tag in cset:
+            self._stamp += 1
+            cset[tag] = self._stamp
+            if is_write:
+                self._dirty.add((index, tag))
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, paddr, is_write=False):
+        """Fill a line, evicting the LRU way if the set is full."""
+        index, tag = self._index_tag(paddr)
+        cset = self._sets[index]
+        if tag not in cset and len(cset) >= self.ways:
+            victim = min(cset, key=cset.get)
+            del cset[victim]
+            self.evictions += 1
+            if (index, victim) in self._dirty:
+                self._dirty.discard((index, victim))
+                self.writebacks += 1
+        self._stamp += 1
+        cset[tag] = self._stamp
+        if is_write:
+            self._dirty.add((index, tag))
+
+    def invalidate(self, paddr):
+        index, tag = self._index_tag(paddr)
+        self._sets[index].pop(tag, None)
+        self._dirty.discard((index, tag))
+
+    def flush(self):
+        for cset in self._sets:
+            cset.clear()
+        self._dirty.clear()
+
+    @property
+    def occupancy(self):
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self):
+        return "<%s %dB %d-way hits=%d misses=%d>" % (
+            self.name, self.params.size_bytes, self.ways, self.hits, self.misses)
+
+
+class CacheHierarchy:
+    """Per-core L1I/L1D + private L2, shared L3, and DRAM behind it."""
+
+    def __init__(self, machine, dram):
+        self.machine = machine
+        self.dram = dram
+        self.l1i = [SetAssociativeCache(machine.l1i) for _ in range(machine.cores)]
+        self.l1d = [SetAssociativeCache(machine.l1d) for _ in range(machine.cores)]
+        self.l2 = [SetAssociativeCache(machine.l2) for _ in range(machine.cores)]
+        self.l3 = SetAssociativeCache(machine.l3)
+
+    def _l1_for(self, core_id, kind):
+        if kind is AccessKind.IFETCH:
+            return self.l1i[core_id]
+        return self.l1d[core_id]
+
+    def access(self, core_id, paddr, kind=AccessKind.LOAD, skip_l1=False):
+        """Run one access through the hierarchy.
+
+        Returns ``(cycles, level)`` where ``level`` is the
+        :class:`MemoryLevel` that served the access. ``skip_l1`` models
+        page-walker requests, which in x86 go directly to the L2 cache
+        (the walker does not consult the L1 data cache in our model,
+        matching the paper's Figure 7 where walk requests are shown
+        probing L2 then L3 then memory).
+        """
+        is_write = kind is AccessKind.STORE
+        cycles = 0
+        if not skip_l1:
+            l1 = self._l1_for(core_id, kind)
+            cycles += l1.params.access_cycles
+            if l1.lookup(paddr, is_write):
+                return cycles, MemoryLevel.L1
+
+        l2 = self.l2[core_id]
+        cycles += l2.params.access_cycles
+        if l2.lookup(paddr, is_write):
+            if not skip_l1:
+                self._l1_for(core_id, kind).insert(paddr, is_write)
+            return cycles, MemoryLevel.L2
+
+        cycles += self.l3.params.access_cycles
+        if self.l3.lookup(paddr, is_write):
+            level = MemoryLevel.L3
+        else:
+            cycles += self.dram.access(paddr)
+            self.l3.insert(paddr, is_write)
+            level = MemoryLevel.DRAM
+
+        l2.insert(paddr, is_write)
+        if not skip_l1:
+            self._l1_for(core_id, kind).insert(paddr, is_write)
+        return cycles, level
+
+    def invalidate_line(self, paddr):
+        """Drop a line everywhere (used when the kernel rewrites a pte page)."""
+        for core_id in range(self.machine.cores):
+            self.l1i[core_id].invalidate(paddr)
+            self.l1d[core_id].invalidate(paddr)
+            self.l2[core_id].invalidate(paddr)
+        self.l3.invalidate(paddr)
+
+    def stats(self):
+        return {
+            "l1d_hits": sum(c.hits for c in self.l1d),
+            "l1d_misses": sum(c.misses for c in self.l1d),
+            "l1i_hits": sum(c.hits for c in self.l1i),
+            "l1i_misses": sum(c.misses for c in self.l1i),
+            "l2_hits": sum(c.hits for c in self.l2),
+            "l2_misses": sum(c.misses for c in self.l2),
+            "l3_hits": self.l3.hits,
+            "l3_misses": self.l3.misses,
+        }

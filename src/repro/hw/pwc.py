@@ -1,0 +1,63 @@
+"""Page Walk Cache (Section II-B).
+
+Caches recently used entries of the first three page-table levels (PGD,
+PUD, PMD). Tagged by the physical address of the table entry, so two
+processes that share a page-table page (BabelFish) naturally share PWC
+entries on the same core, while private tables do not — exactly the effect
+Figure 7 relies on.
+"""
+
+from repro.hw.types import PTE_BYTES
+
+#: Levels cached by the PWC: 4 = PGD, 3 = PUD, 2 = PMD. The leaf PTE level
+#: is what the TLB itself caches, so the PWC does not store it.
+PWC_LEVELS = (4, 3, 2)
+
+
+class PageWalkCache:
+    def __init__(self, params):
+        self.params = params
+        self.access_cycles = params.access_cycles
+        self._levels = {level: {} for level in PWC_LEVELS}
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, entry_paddr):
+        return entry_paddr // PTE_BYTES
+
+    def lookup(self, level, entry_paddr):
+        """Probe the PWC for a table entry at ``level``; True on hit."""
+        if level not in self._levels:
+            return False
+        cache = self._levels[level]
+        key = self._key(entry_paddr)
+        if key in cache:
+            self._stamp += 1
+            cache[key] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, level, entry_paddr):
+        if level not in self._levels:
+            return
+        cache = self._levels[level]
+        key = self._key(entry_paddr)
+        if key not in cache and len(cache) >= self.params.entries_per_level:
+            victim = min(cache, key=cache.get)
+            del cache[victim]
+        self._stamp += 1
+        cache[key] = self._stamp
+
+    def invalidate_entry(self, level, entry_paddr):
+        if level in self._levels:
+            self._levels[level].pop(self._key(entry_paddr), None)
+
+    def flush(self):
+        for cache in self._levels.values():
+            cache.clear()
+
+    def occupancy(self, level):
+        return len(self._levels.get(level, {}))

@@ -1,0 +1,226 @@
+"""Generic set-associative TLB structures (Figure 1 / Figure 3).
+
+A :class:`SetAssocTLB` stores :class:`TLBEntry` objects and is policy-free:
+``candidates(vpn)`` returns every valid way in the set whose VPN matches,
+and the caller decides which (if any) is a hit. The conventional
+per-process policy (VPN + PCID match) lives here as
+:func:`conventional_match`; the BabelFish policy (Figure 8) lives in
+:mod:`repro.core.babelfish_tlb`.
+"""
+
+from repro.hw.types import PageSize
+
+
+class TLBEntry:
+    """One TLB entry: Figure 1's fields plus BabelFish's CCID and O-PC.
+
+    ``pc_mask`` is the 32-bit PrivateCopy bitmask; ``orpc`` is the OR of
+    its bits as stored in the pmd_t (the TLB keeps it explicitly because,
+    when ORPC lets the hardware skip loading the bitmask, the stored mask
+    is cleared — Section III-A).
+    """
+
+    __slots__ = (
+        "vpn", "ppn", "page_size", "pcid", "ccid", "writable", "user",
+        "cow", "o_bit", "orpc", "pc_mask", "inserted_by", "valid",
+    )
+
+    def __init__(self, vpn, ppn, page_size=PageSize.SIZE_4K, pcid=0, ccid=0,
+                 writable=True, user=True, cow=False, o_bit=False,
+                 orpc=False, pc_mask=0, inserted_by=None):
+        self.vpn = vpn
+        self.ppn = ppn
+        self.page_size = page_size
+        self.pcid = pcid
+        self.ccid = ccid
+        self.writable = writable
+        self.user = user
+        self.cow = cow
+        self.o_bit = o_bit
+        self.orpc = orpc
+        self.pc_mask = pc_mask
+        self.inserted_by = inserted_by
+        self.valid = True
+
+    def __repr__(self):
+        return ("<TLBEntry vpn=%#x ppn=%#x pcid=%d ccid=%d o=%d orpc=%d>"
+                % (self.vpn, self.ppn, self.pcid, self.ccid,
+                   self.o_bit, self.orpc))
+
+
+def conventional_match(entry, vpn, pcid, ccid=None):
+    """Conventional TLB hit rule: VPN and PCID must both match (Figure 1)."""
+    return entry.vpn == vpn and entry.pcid == pcid
+
+
+class SetAssocTLB:
+    """A set-associative TLB for one page size, with true-LRU replacement."""
+
+    def __init__(self, params):
+        self.params = params
+        self.num_sets = params.num_sets
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("TLB sets must be a power of two: %d" % self.num_sets)
+        self.set_mask = self.num_sets - 1
+        self.ways = params.ways
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._stamps = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.invalidations = 0
+
+    def _set_for(self, vpn):
+        return vpn & self.set_mask
+
+    def candidates(self, vpn):
+        """All valid entries in vpn's set whose VPN matches."""
+        return [e for e in self._sets[self._set_for(vpn)]
+                if e.valid and e.vpn == vpn]
+
+    def lookup(self, vpn, match, record=True):
+        """Find a hit using predicate ``match(entry)``; updates LRU and stats."""
+        tset = self._sets[self._set_for(vpn)]
+        for entry in tset:
+            if entry.valid and entry.vpn == vpn and match(entry):
+                self._touch(entry)
+                if record:
+                    self.hits += 1
+                return entry
+        if record:
+            self.misses += 1
+        return None
+
+    def _touch(self, entry):
+        self._stamp += 1
+        self._stamps[self._set_for(entry.vpn)][id(entry)] = self._stamp
+
+    def insert(self, entry, replace=None):
+        """Insert ``entry``; evict LRU if the set is full.
+
+        ``replace`` is an optional predicate: an existing entry matching it
+        is overwritten in place instead of allocating a new way (used to
+        refresh a stale copy of the same translation).
+        """
+        index = self._set_for(entry.vpn)
+        tset = self._sets[index]
+        stamps = self._stamps[index]
+        if replace is not None:
+            for i, old in enumerate(tset):
+                if old.valid and old.vpn == entry.vpn and replace(old):
+                    stamps.pop(id(old), None)
+                    tset[i] = entry
+                    self._touch(entry)
+                    self.insertions += 1
+                    return old
+        evicted = None
+        live = [e for e in tset if e.valid]
+        if len(live) >= self.ways:
+            evicted = min(live, key=lambda e: stamps.get(id(e), 0))
+            tset.remove(evicted)
+            stamps.pop(id(evicted), None)
+        tset[:] = [e for e in tset if e.valid]
+        tset.append(entry)
+        self._touch(entry)
+        self.insertions += 1
+        return evicted
+
+    def invalidate(self, vpn, pred=None):
+        """Invalidate entries for ``vpn`` (optionally filtered by ``pred``)."""
+        index = self._set_for(vpn)
+        tset = self._sets[index]
+        removed = 0
+        for entry in list(tset):
+            if entry.valid and entry.vpn == vpn and (pred is None or pred(entry)):
+                entry.valid = False
+                tset.remove(entry)
+                self._stamps[index].pop(id(entry), None)
+                removed += 1
+        self.invalidations += removed
+        return removed
+
+    def flush(self, pred=None):
+        """Flush everything (or everything matching ``pred``)."""
+        removed = 0
+        for index, tset in enumerate(self._sets):
+            keep = []
+            for entry in tset:
+                if pred is None or pred(entry):
+                    entry.valid = False
+                    self._stamps[index].pop(id(entry), None)
+                    removed += 1
+                else:
+                    keep.append(entry)
+            self._sets[index] = keep
+        self.invalidations += removed
+        return removed
+
+    def entries(self):
+        for tset in self._sets:
+            for entry in tset:
+                if entry.valid:
+                    yield entry
+
+    @property
+    def occupancy(self):
+        return sum(1 for _ in self.entries())
+
+    def __repr__(self):
+        return "<%s %d entries %d-way hits=%d misses=%d>" % (
+            self.params.name, self.params.entries, self.ways,
+            self.hits, self.misses)
+
+
+class MultiSizeTLB:
+    """A TLB level holding several page sizes in parallel structures.
+
+    Table I's L1 has separate 4K/2M/1G arrays; the L2 TLB likewise. A
+    lookup probes the structure for each size the level supports, using the
+    VPN computed at that size.
+    """
+
+    def __init__(self, params_by_size):
+        self.tlbs = {p.page_size: SetAssocTLB(p) for p in params_by_size}
+
+    def lookup(self, vaddr_vpn4k, match, page_size=None):
+        """Probe by a 4K VPN; ``page_size`` restricts to one structure.
+
+        Returns ``(entry, page_size)`` or ``(None, None)``.
+        """
+        sizes = [page_size] if page_size else list(self.tlbs)
+        for size in sizes:
+            tlb = self.tlbs.get(size)
+            if tlb is None:
+                continue
+            vpn = vaddr_vpn4k >> (size.shift - PageSize.SIZE_4K.shift)
+            entry = tlb.lookup(vpn, match)
+            if entry is not None:
+                return entry, size
+        return None, None
+
+    def insert(self, entry, replace=None):
+        return self.tlbs[entry.page_size].insert(entry, replace=replace)
+
+    def invalidate(self, vpn4k, pred=None):
+        removed = 0
+        for size, tlb in self.tlbs.items():
+            vpn = vpn4k >> (size.shift - PageSize.SIZE_4K.shift)
+            removed += tlb.invalidate(vpn, pred)
+        return removed
+
+    def flush(self, pred=None):
+        return sum(tlb.flush(pred) for tlb in self.tlbs.values())
+
+    @property
+    def hits(self):
+        return sum(t.hits for t in self.tlbs.values())
+
+    @property
+    def misses(self):
+        return sum(t.misses for t in self.tlbs.values())
+
+    def entries(self):
+        for tlb in self.tlbs.values():
+            for entry in tlb.entries():
+                yield entry

@@ -1,0 +1,65 @@
+"""Common low-level types shared by the hardware models."""
+
+import enum
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+CACHE_LINE_SIZE = 64
+PTE_BYTES = 8
+ENTRIES_PER_TABLE = 512
+
+
+class AccessKind(enum.Enum):
+    """What a memory access is, from the core's point of view."""
+
+    IFETCH = "ifetch"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def is_instruction(self):
+        return self is AccessKind.IFETCH
+
+    @property
+    def is_write(self):
+        return self is AccessKind.STORE
+
+
+class MemoryLevel(enum.Enum):
+    """Which level of the memory hierarchy served an access."""
+
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    DRAM = 4
+
+
+class PageSize(enum.Enum):
+    """Page sizes supported by the TLBs (Table I)."""
+
+    SIZE_4K = 12
+    SIZE_2M = 21
+    SIZE_1G = 30
+
+    @property
+    def shift(self):
+        return self.value
+
+    @property
+    def bytes(self):
+        return 1 << self.value
+
+    @property
+    def base_pages(self):
+        """Number of 4KB pages this page size covers."""
+        return 1 << (self.value - PAGE_SHIFT)
+
+
+def vpn_for(vaddr, page_size=PageSize.SIZE_4K):
+    """Virtual page number of ``vaddr`` for the given page size."""
+    return vaddr >> page_size.shift
+
+
+def line_addr(paddr):
+    """Cache-line-aligned address of ``paddr``."""
+    return paddr & ~(CACHE_LINE_SIZE - 1)

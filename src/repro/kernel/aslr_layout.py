@@ -1,0 +1,90 @@
+"""Address-space layouts and ASLR seeds (Section IV-D).
+
+A :class:`Layout` assigns each of the 7 segments a base VPN. Workload
+traces address memory as ``(segment, page offset)``; the layout turns that
+into a concrete VPN. Randomization is in 2MB (512-page) units so that
+shareable mappings stay PTE-table-aligned across layouts, which both Linux
+(mmap granularity for large mappings) and BabelFish's table sharing want.
+
+Three regimes, matching the paper:
+
+- *fork-inherited* (the conventional baseline): containers of one
+  application are forked from a common parent, so they all inherit the
+  parent's randomized layout.
+- *ASLR-SW*: one random layout per CCID group (identical effect, but the
+  seed is per-group by policy).
+- *ASLR-HW*: every process gets its own layout; hardware applies the
+  per-segment ``diff_offset[] = group_offset[] - proc_offset[]`` between
+  the L1 and L2 TLBs so group members still share L2/page-table state.
+"""
+
+import random
+
+from repro.hw.types import ENTRIES_PER_TABLE
+from repro.kernel.vma import SegmentKind
+
+#: Canonical (pre-randomization) segment bases, in 4K VPNs. Windows are
+#: 512GB apart so segments can never collide regardless of offsets.
+CANONICAL_BASES = {
+    SegmentKind.CODE: 0x0000_4000_0 >> 0,      # ~0x400000 / 4K
+    SegmentKind.DATA: 0x0000_0001_0000_0,
+    SegmentKind.HEAP: 0x0000_0002_0000_0,
+    SegmentKind.MMAP: 0x0000_0100_0000_0,
+    SegmentKind.LIBS: 0x0000_0200_0000_0,
+    SegmentKind.STACK: 0x0000_0300_0000_0,
+    SegmentKind.VDSO: 0x0000_0400_0000_0,
+}
+
+#: Randomization entropy: offsets are multiples of 512 pages (2MB), up to
+#: 256 slots, i.e. 8 bits of entropy per segment.
+ASLR_SLOTS = 256
+
+
+class Layout:
+    """Segment base VPNs for one address space."""
+
+    __slots__ = ("bases",)
+
+    def __init__(self, bases):
+        self.bases = dict(bases)
+
+    def base(self, segment):
+        return self.bases[segment]
+
+    def vpn(self, segment, page_offset):
+        """Concrete VPN for a segment-relative page offset."""
+        return self.bases[segment] + page_offset
+
+    def segment_of(self, vpn):
+        """Which segment a VPN falls in (the ASLR-HW logic module's
+        comparators); None if outside all windows."""
+        best = None
+        for segment, base in self.bases.items():
+            if vpn >= base and (best is None or base > self.bases[best]):
+                best = segment
+        return best
+
+    def diff(self, other):
+        """Per-segment ``other - self`` offsets (the diff_i_offset[] array)."""
+        return {seg: other.bases[seg] - base for seg, base in self.bases.items()}
+
+    def __eq__(self, other):
+        return isinstance(other, Layout) and self.bases == other.bases
+
+    def __repr__(self):
+        return "<Layout %s>" % {s.value: hex(b) for s, b in self.bases.items()}
+
+
+def canonical_layout():
+    """The unrandomized layout (ASLR off)."""
+    return Layout(CANONICAL_BASES)
+
+
+def randomized_layout(seed):
+    """A fresh random layout: each segment shifted by 0..255 slots of 2MB."""
+    rng = random.Random(seed)
+    bases = {
+        segment: base + rng.randrange(ASLR_SLOTS) * ENTRIES_PER_TABLE
+        for segment, base in CANONICAL_BASES.items()
+    }
+    return Layout(bases)

@@ -1,0 +1,129 @@
+"""Kernel-state auditor: whole-system invariant checks.
+
+Shared page tables are exactly the kind of mechanism where a subtle
+bookkeeping bug (a sharer count off by one, a stale registry entry, a
+frame freed twice) silently corrupts results long before anything
+crashes. The auditor walks the *entire* kernel state and cross-checks it;
+integration tests and long property runs call it after every scenario.
+
+Checked invariants:
+
+1. **Sharer counts**: every table's ``sharers`` equals the number of
+   TableRef entries (plus PGD roots) that actually point at it.
+2. **Frame refcounts**: every allocated frame's refcount equals the
+   number of references the kernel actually holds (page-cache slots +
+   distinct-table PTE entries + table/mask-page frames themselves).
+3. **Registry consistency**: every registry entry's table carries the
+   same key and is reachable; owned tables never appear in the registry.
+4. **CCID confinement**: a table reachable from two processes implies
+   they are in the same CCID group.
+5. **Ownership**: a table with ``owned_by`` set is reachable only from
+   that process.
+"""
+
+import collections
+
+from repro.kernel.frames import FrameKind
+from repro.kernel.page_table import PTE, TableRef
+
+
+class AuditError(AssertionError):
+    """An invariant violation, with the full list of findings."""
+
+    def __init__(self, findings):
+        super().__init__("kernel audit failed:\n  " + "\n  ".join(findings))
+        self.findings = findings
+
+
+def _reachable_tables(kernel):
+    """Map id(table) -> (table, set of pids reaching it, ref count)."""
+    info = {}
+    refs = collections.Counter()
+    for proc in kernel.processes.values():
+        stack = [proc.tables.pgd]
+        refs[id(proc.tables.pgd)] += 1
+        seen_here = set()
+        while stack:
+            table = stack.pop()
+            entry = info.setdefault(id(table), (table, set()))
+            entry[1].add(proc.pid)
+            if id(table) in seen_here:
+                continue
+            seen_here.add(id(table))
+            for item in table.entries.values():
+                if isinstance(item, TableRef):
+                    refs[id(item.table)] += 1
+                    stack.append(item.table)
+    return info, refs
+
+
+def audit_kernel(kernel, raise_on_failure=True):
+    """Run all checks; returns the list of findings (empty = clean)."""
+    findings = []
+    info, refs = _reachable_tables(kernel)
+
+    # 1. Sharer counts.
+    for table_id, (table, _pids) in info.items():
+        expected = refs[table_id]
+        if table.sharers != expected:
+            findings.append(
+                "sharers mismatch on %r: counter=%d actual refs=%d"
+                % (table, table.sharers, expected))
+
+    # 2. Frame refcounts.
+    expected_refs = collections.Counter()
+    for fid, index in getattr(kernel.page_cache, "_pages", {}):
+        expected_refs[kernel.page_cache._pages[(fid, index)]] += 1
+    for table_id, (table, _pids) in info.items():
+        expected_refs[table.frame] += 1
+        for item in table.entries.values():
+            if isinstance(item, PTE) and item.present:
+                expected_refs[item.ppn] += 1
+    mask_dir = getattr(kernel.policy, "mask_dir", None)
+    if mask_dir is not None:
+        for page in mask_dir:
+            if page.frame is not None:
+                expected_refs[page.frame] += 1
+    for ppn, expected in expected_refs.items():
+        actual = kernel.allocator.refcount(ppn)
+        if actual != expected:
+            findings.append(
+                "frame %#x refcount=%d but %d references exist (kind=%s)"
+                % (ppn, actual, expected, kernel.allocator.kind(ppn)))
+    # No allocated data/page-table frame should be reference-less.
+    for ppn, count in list(kernel.allocator._refcount.items()):
+        kind = kernel.allocator.kind(ppn)
+        if kind in (FrameKind.DATA, FrameKind.PAGE_TABLE) \
+                and ppn not in expected_refs:
+            findings.append("leaked %s frame %#x (refcount=%d)"
+                            % (kind.value, ppn, count))
+
+    # 3. Registry consistency.
+    registry = getattr(kernel.policy, "registry", None)
+    if registry is not None:
+        for key, value in registry.items():
+            table = value[0] if isinstance(value, tuple) else value
+            if table.shared_key != key:
+                findings.append("registry key %r points at table keyed %r"
+                                % (key, table.shared_key))
+            if table.owned_by is not None:
+                findings.append("owned table %r present in registry" % table)
+            if id(table) not in info and table.sharers > 0:
+                findings.append(
+                    "registry table %r unreachable but sharers=%d"
+                    % (table, table.sharers))
+
+    # 4 & 5. CCID confinement and ownership.
+    pid_to_ccid = {p.pid: p.ccid for p in kernel.processes.values()}
+    for table_id, (table, pids) in info.items():
+        ccids = {pid_to_ccid[pid] for pid in pids if pid in pid_to_ccid}
+        if len(ccids) > 1:
+            findings.append("table %r crosses CCIDs %s" % (table, ccids))
+        if table.owned_by is not None and pids - {table.owned_by}:
+            findings.append(
+                "owned table %r (pid %d) reachable from %s"
+                % (table, table.owned_by, pids - {table.owned_by}))
+
+    if findings and raise_on_failure:
+        raise AuditError(findings)
+    return findings

@@ -1,0 +1,51 @@
+"""Page-fault classification and outcomes (Section II-B)."""
+
+import dataclasses
+import enum
+
+
+class FaultType(enum.Enum):
+    #: Page had to come from "disk" (not in the page cache).
+    MAJOR = "major"
+    #: Page was in memory; only the table entry needed updating.
+    MINOR = "minor"
+    #: Write to a Copy-on-Write page: private frame allocated.
+    COW = "cow"
+    #: The translation was already present and usable when the handler
+    #: looked (another CCID-group member resolved it first, or a racing
+    #: TLB state); nothing to do.
+    SPURIOUS = "spurious"
+
+
+class InvalidationScope(enum.Enum):
+    #: Invalidate the single shared (O-bit clear) entry for a VPN in every
+    #: TLB — BabelFish's CoW rule (Section III-A: "only this single entry
+    #: needs to be invalidated").
+    SHARED_ENTRY = "shared"
+    #: Invalidate a process's own entries for a VPN (conventional CoW
+    #: shootdown semantics).
+    PROCESS = "process"
+    #: Invalidate every shared entry of a CCID group in the VPN's 1GB
+    #: region — used when a MaskPage overflows and the group reverts to
+    #: non-shared translations (Appendix).
+    REGION_SHARED = "region_shared"
+
+
+@dataclasses.dataclass(frozen=True)
+class TLBInvalidation:
+    vpn: int
+    scope: InvalidationScope
+    pcid: int = None
+    ccid: int = None
+
+
+@dataclasses.dataclass
+class FaultOutcome:
+    fault_type: FaultType
+    cycles: int
+    #: TLB invalidations the "OS" requests; the simulator applies them to
+    #: every core's MMU and charges shootdown cost.
+    invalidations: list = dataclasses.field(default_factory=list)
+    ppn: int = None
+    #: True when a BabelFish private pte-page copy was created.
+    pte_page_copied: bool = False

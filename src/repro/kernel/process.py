@@ -1,0 +1,65 @@
+"""The process abstraction.
+
+Containers use the process abstraction for isolation (Section II-A); each
+container in our experiments holds one process. Page tables are always
+built in the *group* (CCID) address-space layout: under the conventional
+baseline and ASLR-SW the process layout is identical to the group layout
+(fork inheritance / per-group seed), while under ASLR-HW the process has
+its own randomized layout and the MMU's transformation bridges the two.
+"""
+
+import itertools
+
+from repro.kernel.page_table import AddressSpaceTables
+from repro.kernel.vma import MM
+
+PCID_BITS = 12
+
+
+class Process:
+    _pids = itertools.count(100)
+
+    def __init__(self, allocator, ccid, layout_group, layout_proc=None,
+                 parent=None, name=""):
+        self.pid = next(Process._pids)
+        self.pcid = self.pid & ((1 << PCID_BITS) - 1)
+        self.ccid = ccid
+        self.layout_group = layout_group
+        self.layout_proc = layout_proc or layout_group
+        self.parent = parent
+        self.name = name or "proc-%d" % self.pid
+        self.mm = MM()
+        self.tables = AddressSpaceTables(allocator)
+        self.alive = True
+        #: PC-bitmask bit index assigned to this process, per 1GB region
+        #: (MaskPage) it has CoW'ed in; filled by the BabelFish policy.
+        self.pc_bits = {}
+        # Fault counters.
+        self.minor_faults = 0
+        self.major_faults = 0
+        self.cow_faults = 0
+        self.spurious_faults = 0
+
+    @property
+    def cr3(self):
+        return self.tables.cr3
+
+    def vpn_group(self, segment, page_offset):
+        """Group-space VPN of a segment-relative page (what tables use)."""
+        return self.layout_group.vpn(segment, page_offset)
+
+    def vpn_proc(self, segment, page_offset):
+        """Process-space VPN (what the core issues; differs under ASLR-HW)."""
+        return self.layout_proc.vpn(segment, page_offset)
+
+    def pc_bit(self, region):
+        """This process's PC-bitmask bit for a 1GB region, or None."""
+        return self.pc_bits.get(region)
+
+    @property
+    def total_faults(self):
+        return self.minor_faults + self.major_faults + self.cow_faults
+
+    def __repr__(self):
+        return "<Process %s pid=%d pcid=%d ccid=%d>" % (
+            self.name, self.pid, self.pcid, self.ccid)

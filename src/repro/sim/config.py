@@ -1,0 +1,82 @@
+"""Simulation configurations: Baseline, BabelFish, ablations, BigTLB.
+
+A :class:`SimConfig` selects which of BabelFish's two mechanisms are
+enabled (Section VII separates "L2 TLB effects" from "page table effects"
+in Table II), the ASLR mode, and scaling knobs.
+"""
+
+import dataclasses
+
+from repro.core.aslr import ASLRMode
+from repro.kernel.costs import KernelCosts
+
+
+@dataclasses.dataclass(frozen=True)
+class SimConfig:
+    name: str
+    #: CCID-tagged TLB entry sharing (Section III-A).
+    babelfish_tlb: bool = False
+    #: Shared page tables (Section III-B).
+    babelfish_pt: bool = False
+    aslr_mode: ASLRMode = ASLRMode.INHERITED
+    thp_enabled: bool = True
+    #: Scale factor on L2 TLB entries ("larger conventional TLB" study).
+    l2_tlb_scale: float = 1.0
+    #: The ORPC optimization (Figure 5b): when disabled, every shared-entry
+    #: L2 TLB access pays the long (PC-bitmask) access time. Ablation knob.
+    orpc_enabled: bool = True
+    #: PC bitmask width: maximum CoW writers per PMD table set before the
+    #: group reverts to non-shared translations (Appendix). Ablation knob.
+    pc_bitmask_bits: int = 32
+    #: Merge PMD tables for 2MB huge pages (Section IV-C). Ablation knob.
+    share_huge: bool = True
+    #: Appendix extension: per-2MB-range pid lists ("an extra
+    #: indirection could support more writing processes"). Raises the CoW
+    #: writer limit from 32 per 1GB region to 32 per 2MB range.
+    pc_overflow_indirection: bool = False
+    #: Scheduler quantum in instructions (Table I's 10ms scaled down with
+    #: the measurement slice; see DESIGN.md Section 4).
+    quantum_instructions: int = 20_000
+    costs: KernelCosts = dataclasses.field(default_factory=KernelCosts)
+
+    @property
+    def is_babelfish(self):
+        return self.babelfish_tlb or self.babelfish_pt
+
+    @property
+    def share_l1_tlb(self):
+        """L1 sharing is only possible when the L1 sees group addresses
+        (ASLR-SW / inherited layouts); under ASLR-HW the transform sits
+        between L1 and L2 (Section IV-D)."""
+        return self.babelfish_tlb and self.aslr_mode.shares_l1
+
+
+def baseline_config(**overrides):
+    """Conventional server: per-process TLB entries and page tables."""
+    return SimConfig(name="Baseline", **overrides)
+
+
+def babelfish_config(aslr_mode=ASLRMode.HW, **overrides):
+    """Full BabelFish; ASLR-HW by default, as in the paper's evaluation."""
+    return SimConfig(name="BabelFish", babelfish_tlb=True, babelfish_pt=True,
+                     aslr_mode=aslr_mode, **overrides)
+
+
+def babelfish_pt_only_config(**overrides):
+    """Ablation: page-table sharing without TLB entry sharing (used to
+    attribute Table II's 'fraction from L2 TLB effects')."""
+    return SimConfig(name="BabelFish-PT", babelfish_pt=True,
+                     aslr_mode=ASLRMode.HW, **overrides)
+
+
+def babelfish_tlb_only_config(**overrides):
+    """Ablation: TLB entry sharing with conventional private page tables."""
+    return SimConfig(name="BabelFish-TLB", babelfish_tlb=True,
+                     aslr_mode=ASLRMode.HW, **overrides)
+
+
+def bigtlb_config(scale=2.0, **overrides):
+    """Section VII-C: spend BabelFish's extra TLB bits on a larger
+    conventional L2 TLB instead (the CCID+O-PC bits roughly double the
+    array, so the default is a 2x-entries conventional TLB)."""
+    return SimConfig(name="BigTLB", l2_tlb_scale=scale, **overrides)

@@ -1,0 +1,290 @@
+"""Per-core MMU: L1 TLBs, unified L2 TLB, PWC, walker, fault retry loop.
+
+The translation path (Section VI's timing rules):
+
+1. L1 TLB (1 cycle). Entries are per-process (PCID) except under
+   BabelFish + ASLR-SW, where the whole group shares them.
+2. On an L1 miss with BabelFish + ASLR-HW, the address transformation
+   module adds 2 cycles and converts the process-space VA to the group's
+   shared VA (Section IV-D).
+3. L2 TLB (10 cycles; 12 when the PC bitmask must be consulted —
+   Figure 5b / Table I).
+4. Page walk through the PWC and cache hierarchy; faults invoke the
+   kernel and retry.
+"""
+
+import dataclasses
+
+from repro.hw.pwc import PageWalkCache
+from repro.hw.tlb import MultiSizeTLB, TLBEntry
+from repro.hw.types import AccessKind, PageSize
+from repro.core.babelfish_tlb import (
+    BabelFishLookup,
+    conventional_lookup,
+    make_entry,
+)
+from repro.core.mask_page import region_of
+from repro.kernel.fault import FaultType, InvalidationScope
+from repro.sim.stats import MMUStats
+from repro.sim.walker import PageWalker
+
+_MAX_FAULT_RETRIES = 6
+
+
+@dataclasses.dataclass
+class TranslationResult:
+    cycles: int
+    ppn4k: int
+    page_size: PageSize
+
+
+class MMU:
+    def __init__(self, core_id, machine, config, hierarchy, kernel):
+        self.core_id = core_id
+        self.config = config
+        self.kernel = kernel
+        mmu = machine.mmu
+        self.l1d = MultiSizeTLB([mmu.l1d_4k, mmu.l1d_2m, mmu.l1d_1g])
+        self.l1i = MultiSizeTLB([mmu.l1i_4k])
+        self.l2 = MultiSizeTLB([mmu.l2_4k, mmu.l2_2m, mmu.l2_1g])
+        self.pwc = PageWalkCache(mmu.pwc)
+        self.walker = PageWalker(core_id, hierarchy, self.pwc)
+        self.l2_short_cycles = mmu.l2_4k.access_cycles
+        self.l2_long_cycles = mmu.l2_4k.long_access_cycles or mmu.l2_4k.access_cycles
+        self.l1_cycles = mmu.l1d_4k.access_cycles
+        self.aslr_cycles = mmu.aslr_transform_cycles
+        self.stats = MMUStats()
+        domain_fn = getattr(kernel.policy, "entry_mask_domain", None)
+        self._bf_l1d = BabelFishLookup(self.l1d, domain_fn)
+        self._bf_l1i = BabelFishLookup(self.l1i, domain_fn)
+        self._bf_l2 = BabelFishLookup(self.l2, domain_fn)
+        #: Callback set by the simulator: applies kernel-requested TLB
+        #: invalidations to every core.
+        self.invalidation_sink = self._local_invalidation_sink
+
+    # -- main entry point --------------------------------------------------------
+
+    def translate(self, proc, segment, page_off, kind, is_write=False):
+        """Translate one access; returns a :class:`TranslationResult`."""
+        stats = self.stats
+        instr = kind is AccessKind.IFETCH
+        is_write = is_write or kind is AccessKind.STORE
+        if instr:
+            stats.accesses_i += 1
+        else:
+            stats.accesses_d += 1
+        vpn_proc = proc.vpn_proc(segment, page_off)
+        vpn_group = proc.vpn_group(segment, page_off)
+        cycles = 0
+        for _ in range(_MAX_FAULT_RETRIES):
+            result = self._try_translate(proc, vpn_proc, vpn_group, instr,
+                                         is_write)
+            cycles += result[0]
+            if result[1] is not None:
+                return TranslationResult(cycles, result[1], result[2])
+            # A CoW fault (from a TLB hit or walk) was serviced; retry.
+        raise RuntimeError("translation did not converge for vpn %#x" % vpn_group)
+
+    def _try_translate(self, proc, vpn_proc, vpn_group, instr, is_write):
+        """One pass through L1 -> L2 -> walk. Returns (cycles, ppn4k|None,
+        page_size|None); ppn4k None means a fault was serviced and the
+        access must retry."""
+        stats = self.stats
+        config = self.config
+        cycles = self.l1_cycles
+        l1_multi = self.l1i if instr else self.l1d
+
+        if config.share_l1_tlb:
+            bf = self._bf_l1i if instr else self._bf_l1d
+            l1_res = bf.lookup(vpn_group, proc, is_write)
+        else:
+            l1_res = conventional_lookup(l1_multi, vpn_proc, proc, is_write)
+        if l1_res.cow_fault:
+            cycles += self._service_fault(proc, vpn_group, is_write)
+            return cycles, None, None
+        if l1_res.hit:
+            if instr:
+                stats.l1_hits_i += 1
+            else:
+                stats.l1_hits_d += 1
+            entry = l1_res.entry
+            lookup_vpn = vpn_group if config.share_l1_tlb else vpn_proc
+            ppn4k = entry.ppn + (lookup_vpn & (entry.page_size.base_pages - 1))
+            return cycles, ppn4k, entry.page_size
+        if instr:
+            stats.l1_misses_i += 1
+        else:
+            stats.l1_misses_d += 1
+
+        if config.babelfish_tlb and not config.aslr_mode.shares_l1:
+            # ASLR-HW transformation between L1 and L2 (Section IV-D).
+            cycles += self.aslr_cycles
+            stats.aslr_transforms += 1
+
+        if config.babelfish_tlb:
+            l2_res = self._bf_l2.lookup(vpn_group, proc, is_write)
+            long_access = l2_res.consulted_bitmask
+            if not config.orpc_enabled and l2_res.entry is not None \
+                    and not l2_res.entry.o_bit:
+                # Without the ORPC filter every shared-entry access must
+                # read the PC bitmask (Figure 5b's saving, ablated).
+                long_access = True
+            if long_access:
+                cycles += self.l2_long_cycles
+                stats.l2_long_accesses += 1
+            else:
+                cycles += self.l2_short_cycles
+        else:
+            l2_res = conventional_lookup(self.l2, vpn_group, proc, is_write)
+            cycles += self.l2_short_cycles
+        if l2_res.cow_fault:
+            cycles += self._service_fault(proc, vpn_group, is_write)
+            return cycles, None, None
+        if l2_res.hit:
+            entry = l2_res.entry
+            if instr:
+                stats.l2_hits_i += 1
+                if entry.inserted_by != proc.pid:
+                    stats.l2_shared_hits_i += 1
+            else:
+                stats.l2_hits_d += 1
+                if entry.inserted_by != proc.pid:
+                    stats.l2_shared_hits_d += 1
+            self._fill_l1(proc, vpn_proc, vpn_group, entry, instr)
+            # Model accessed-bit harvesting: L2-TLB-level activity drives
+            # the kernel's page LRU (Figure 9's active list).
+            self.kernel.lru.touch(entry.ppn)
+            ppn4k = entry.ppn + (vpn_group & (entry.page_size.base_pages - 1))
+            return cycles, ppn4k, entry.page_size
+        if instr:
+            stats.l2_misses_i += 1
+        else:
+            stats.l2_misses_d += 1
+
+        walk = self.walker.walk(proc, vpn_group)
+        stats.walks += 1
+        stats.walk_cycles += walk.cycles
+        cycles += walk.cycles
+        pte = walk.pte
+        if walk.fault or (is_write and (pte.cow or not pte.writable)):
+            cycles += self._service_fault(proc, vpn_group, is_write)
+            return cycles, None, None
+
+        entry = self._fill_l2(proc, vpn_group, pte, walk.leaf_table)
+        self._fill_l1(proc, vpn_proc, vpn_group, entry, instr)
+        self.kernel.lru.touch(pte.ppn)
+        ppn4k = pte.ppn + (vpn_group & (pte.page_size.base_pages - 1))
+        return cycles, ppn4k, pte.page_size
+
+    # -- fills -----------------------------------------------------------------------
+
+    def _fill_l2(self, proc, vpn_group, pte, leaf_table):
+        size = pte.page_size
+        vpn = vpn_group >> (size.shift - PageSize.SIZE_4K.shift)
+        if self.config.babelfish_tlb:
+            fill_info = self.kernel.policy.fill_info(proc, leaf_table, vpn_group)
+            entry = make_entry(vpn, pte, proc, fill_info, size)
+            replace = (lambda old: old.ccid == entry.ccid
+                       and old.o_bit == entry.o_bit
+                       and (not entry.o_bit or old.pcid == entry.pcid))
+        else:
+            entry = TLBEntry(vpn, pte.ppn, size, pcid=proc.pcid,
+                             ccid=proc.ccid, writable=pte.writable,
+                             cow=pte.cow, o_bit=True, inserted_by=proc.pid)
+            replace = lambda old: old.pcid == entry.pcid
+        self.l2.insert(entry, replace=replace)
+        return entry
+
+    def _fill_l1(self, proc, vpn_proc, vpn_group, l2_entry, instr):
+        size = l2_entry.page_size
+        if self.config.share_l1_tlb:
+            vpn = vpn_group >> (size.shift - PageSize.SIZE_4K.shift)
+            entry = TLBEntry(vpn, l2_entry.ppn, size, pcid=proc.pcid,
+                             ccid=proc.ccid, writable=l2_entry.writable,
+                             cow=l2_entry.cow, o_bit=l2_entry.o_bit,
+                             orpc=l2_entry.orpc, pc_mask=l2_entry.pc_mask,
+                             inserted_by=proc.pid)
+            replace = (lambda old: old.ccid == entry.ccid
+                       and old.o_bit == entry.o_bit
+                       and (not entry.o_bit or old.pcid == entry.pcid))
+        else:
+            vpn = vpn_proc >> (size.shift - PageSize.SIZE_4K.shift)
+            entry = TLBEntry(vpn, l2_entry.ppn, size, pcid=proc.pcid,
+                             ccid=proc.ccid, writable=l2_entry.writable,
+                             cow=l2_entry.cow, o_bit=True,
+                             inserted_by=proc.pid)
+            replace = lambda old: old.pcid == entry.pcid
+        multi = self.l1i if instr else self.l1d
+        if size in multi.tlbs:
+            multi.insert(entry, replace=replace)
+
+    # -- faults and invalidations --------------------------------------------------------
+
+    def _service_fault(self, proc, vpn_group, is_write):
+        outcome = self.kernel.handle_fault(proc, vpn_group, is_write)
+        stats = self.stats
+        stats.fault_cycles += outcome.cycles
+        if outcome.fault_type is FaultType.MINOR:
+            stats.minor_faults += 1
+        elif outcome.fault_type is FaultType.MAJOR:
+            stats.major_faults += 1
+        elif outcome.fault_type is FaultType.COW:
+            stats.cow_faults += 1
+        else:
+            stats.spurious_faults += 1
+        if outcome.invalidations:
+            self.invalidation_sink(proc, outcome.invalidations)
+        return outcome.cycles
+
+    def _local_invalidation_sink(self, proc, invalidations):
+        for inv in invalidations:
+            self.apply_invalidation(proc, inv)
+
+    def apply_invalidation(self, proc, inv):
+        """Apply one kernel-requested invalidation to this core's TLBs."""
+        if inv.scope is InvalidationScope.PROCESS:
+            pred = lambda e: e.pcid == inv.pcid
+            vpns = {inv.vpn}
+            vpn_proc = self._to_proc_space(proc, inv.vpn)
+            if vpn_proc is not None:
+                vpns.add(vpn_proc)
+            for vpn in vpns:
+                self.l1d.invalidate(vpn, pred)
+                self.l1i.invalidate(vpn, pred)
+                self.l2.invalidate(vpn, pred)
+        elif inv.scope is InvalidationScope.SHARED_ENTRY:
+            pred = lambda e: (not e.o_bit) and e.ccid == inv.ccid
+            self.l1d.invalidate(inv.vpn, pred)
+            self.l1i.invalidate(inv.vpn, pred)
+            self.l2.invalidate(inv.vpn, pred)
+        elif inv.scope is InvalidationScope.REGION_SHARED:
+            region = region_of(inv.vpn)
+
+            def pred(entry):
+                if entry.o_bit or entry.ccid != inv.ccid:
+                    return False
+                vpn4k = entry.vpn << (entry.page_size.shift
+                                      - PageSize.SIZE_4K.shift)
+                return region_of(vpn4k) == region
+
+            self.l1d.flush(pred)
+            self.l1i.flush(pred)
+            self.l2.flush(pred)
+
+    @staticmethod
+    def _to_proc_space(proc, vpn_group):
+        """Translate a group-space VPN to the process's own layout (for
+        invalidating per-process L1 entries under ASLR-HW)."""
+        if proc.layout_proc is proc.layout_group:
+            return vpn_group
+        segment = proc.layout_group.segment_of(vpn_group)
+        if segment is None:
+            return None
+        offset = vpn_group - proc.layout_group.base(segment)
+        return proc.layout_proc.base(segment) + offset
+
+    def flush_all(self):
+        self.l1d.flush()
+        self.l1i.flush()
+        self.l2.flush()
+        self.pwc.flush()

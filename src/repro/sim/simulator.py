@@ -1,0 +1,163 @@
+"""The top-level trace-driven simulator.
+
+Processes (container workloads) are attached to cores together with their
+memory-access traces; the scheduler multiplexes 2-3 of them per core with
+the Table I quantum. Every trace record is one memory access plus a gap of
+non-memory instructions; the access runs through the per-core MMU (full
+translation timing) and then the cache hierarchy.
+
+Trace record format (plain tuples for speed)::
+
+    (kind, segment, page_offset, line, gap, request_id)
+
+where ``kind`` is 0=IFETCH, 1=LOAD, 2=STORE, ``segment`` is a
+:class:`repro.kernel.vma.SegmentKind`, ``page_offset`` is the
+segment-relative page, ``line`` the cache line within the page (0..63),
+``gap`` the non-memory instructions preceding the access, and
+``request_id`` an optional request tag for latency accounting.
+"""
+
+from repro.hw.cache import CacheHierarchy
+from repro.hw.dram import DRAMModel
+from repro.hw.types import AccessKind
+from repro.kernel.scheduler import Scheduler
+from repro.sim.mmu import MMU
+from repro.sim.stats import MMUStats, RunResult
+
+#: Trace record "kind" codes.
+K_IFETCH, K_LOAD, K_STORE = 0, 1, 2
+
+_KIND = {K_IFETCH: AccessKind.IFETCH, K_LOAD: AccessKind.LOAD,
+         K_STORE: AccessKind.STORE}
+
+
+class Simulator:
+    def __init__(self, machine, config, kernel):
+        if config.l2_tlb_scale != 1.0:
+            machine = machine.scale_l2_tlb(config.l2_tlb_scale)
+        self.machine = machine
+        self.config = config
+        self.kernel = kernel
+        self.dram = DRAMModel(machine.dram)
+        self.hierarchy = CacheHierarchy(machine, self.dram)
+        self.mmus = [MMU(core, machine, config, self.hierarchy, kernel)
+                     for core in range(machine.cores)]
+        for mmu in self.mmus:
+            mmu.invalidation_sink = self._broadcast_invalidations
+        self.scheduler = Scheduler(machine.cores, config.quantum_instructions)
+        self.core_cycles = [0] * machine.cores
+        self._traces = {}
+        self._request_latency = {}
+        self._completion = {}
+        self._proc_cycles = {}
+        self.base_cpi = machine.core.base_cpi
+        self.switch_cost = config.costs.context_switch
+
+    # -- workload attachment -------------------------------------------------
+
+    def attach(self, proc, trace, core_id):
+        """Attach a process and its trace iterator to a core's run queue."""
+        self._traces[proc.pid] = iter(trace)
+        self.scheduler.assign(proc, core_id)
+
+    def _broadcast_invalidations(self, proc, invalidations):
+        for inv in invalidations:
+            for mmu in self.mmus:
+                mmu.apply_invalidation(proc, inv)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, max_instructions=None):
+        """Run until every attached trace is exhausted (or the optional
+        per-run instruction budget is spent). Returns a RunResult."""
+        budget = max_instructions
+        while self._traces:
+            progressed = False
+            for core_id in range(self.machine.cores):
+                proc = self.scheduler.current(core_id)
+                if proc is None:
+                    continue
+                progressed = True
+                consumed = self._run_quantum(core_id, proc)
+                if budget is not None:
+                    budget -= consumed
+                    if budget <= 0:
+                        return self._finish()
+            if not progressed:
+                break
+        return self._finish()
+
+    def _run_quantum(self, core_id, proc):
+        mmu = self.mmus[core_id]
+        stats = mmu.stats
+        trace = self._traces.get(proc.pid)
+        quantum = self.scheduler.quantum_instructions
+        hierarchy_access = self.hierarchy.access
+        base_cpi = self.base_cpi
+        cycles = 0
+        insts = 0
+        finished = False
+        if trace is not None:
+            while insts < quantum:
+                rec = next(trace, None)
+                if rec is None:
+                    finished = True
+                    break
+                kind_code, segment, page_off, line, gap, req_id = rec
+                kind = _KIND[kind_code]
+                tr = mmu.translate(proc, segment, page_off, kind,
+                                   is_write=kind_code == K_STORE)
+                paddr = (tr.ppn4k << 12) | (line << 6)
+                mem_cycles, _level = hierarchy_access(core_id, paddr, kind)
+                record_cycles = int(gap * base_cpi) + tr.cycles + mem_cycles
+                cycles += record_cycles
+                insts += gap + 1
+                stats.translation_cycles += tr.cycles
+                stats.memory_cycles += mem_cycles
+                if req_id is not None:
+                    self._request_latency[req_id] = (
+                        self._request_latency.get(req_id, 0) + record_cycles)
+        else:
+            finished = True
+        stats.instructions += insts
+        self.core_cycles[core_id] += cycles
+        self._proc_cycles[proc.pid] = self._proc_cycles.get(proc.pid, 0) + cycles
+        if finished:
+            self._completion[proc.pid] = self.core_cycles[core_id]
+            self._traces.pop(proc.pid, None)
+            self.scheduler.remove(proc)
+        nxt = self.scheduler.rotate(core_id)
+        if nxt is not None and nxt is not proc:
+            self.core_cycles[core_id] += self.switch_cost
+        return insts
+
+    def _finish(self):
+        result = RunResult(self.config.name)
+        result.stats = MMUStats.merged([m.stats for m in self.mmus])
+        result.core_cycles = {i: c for i, c in enumerate(self.core_cycles)}
+        result.request_latency = dict(self._request_latency)
+        result.context_switches = self.scheduler.context_switches
+        result.completion_cycles = dict(self._completion)
+        result.process_cycles = dict(self._proc_cycles)
+        return result
+
+    # -- utilities ------------------------------------------------------------------
+
+    def run_single(self, proc, trace, core_id=0):
+        """Run one trace to completion on one core, returning the cycles it
+        took (used for bring-up and function-execution measurements)."""
+        before = self.core_cycles[core_id]
+        self.attach(proc, trace, core_id)
+        self.run()
+        return self.core_cycles[core_id] - before
+
+    def reset_measurement(self):
+        """Clear timing counters while keeping all architectural state warm
+        (the paper's 'warm up, then measure' methodology)."""
+        for mmu in self.mmus:
+            mmu.stats = MMUStats()
+        self.core_cycles = [0] * self.machine.cores
+        self._request_latency = {}
+        self._completion = {}
+        self._proc_cycles = {}
+        self.scheduler.context_switches = 0

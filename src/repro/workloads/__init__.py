@@ -1,0 +1,45 @@
+"""Workload models for the paper's evaluation (Section VI):
+
+- Data serving: ArangoDB, MongoDB, HTTPd driven by a YCSB-style client.
+- Compute: GraphChi (PageRank) and FIO.
+- Functions: Parse, Hash, Marshal with dense and sparse inputs.
+
+Each application is a parameterised model calibrated to the paper's
+Figure 9 sharing profile (what fraction of its translations are identical
+across containers) and its qualitative locality profile; timing behaviour
+then *emerges* from the simulator rather than being scripted.
+"""
+
+from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.profiles import (
+    AppProfile,
+    FunctionProfile,
+    APP_PROFILES,
+    FUNCTION_PROFILES,
+    SERVING_APPS,
+    COMPUTE_APPS,
+    FUNCTION_NAMES,
+)
+from repro.workloads.ycsb import YCSBDriver
+from repro.workloads.dataserving import serving_trace
+from repro.workloads.compute import compute_trace
+from repro.workloads.functions import function_trace
+from repro.workloads.tracefile import load_trace, save_trace, trace_stats
+
+__all__ = [
+    "ZipfGenerator",
+    "AppProfile",
+    "FunctionProfile",
+    "APP_PROFILES",
+    "FUNCTION_PROFILES",
+    "SERVING_APPS",
+    "COMPUTE_APPS",
+    "FUNCTION_NAMES",
+    "YCSBDriver",
+    "serving_trace",
+    "compute_trace",
+    "function_trace",
+    "save_trace",
+    "load_trace",
+    "trace_stats",
+]

@@ -1,0 +1,81 @@
+"""Compute traces: GraphChi (PageRank) and FIO.
+
+GraphChi performs low-locality traversals of the shared graph (uniform
+random vertex pages) while streaming through large private edge buffers —
+the paper notes this makes most of its *active* pte_ts unshareable and
+limits its gains. FIO performs regular (sequential/strided) operations on
+the shared data set with a small private state, which the paper notes
+yields high shared-translation reuse.
+"""
+
+import random
+
+from repro.kernel.vma import SegmentKind
+from repro.workloads.zipf import ZipfGenerator
+
+K_IFETCH, K_LOAD, K_STORE = 0, 1, 2
+
+
+def compute_trace(profile, container_index, iterations=None, seed_offset=0):
+    """Trace generator for one compute container (no request tagging; the
+    metric is execution time)."""
+    iterations = profile.requests if iterations is None else iterations
+    seed = container_index * 104729 + seed_offset
+    rng = random.Random(seed)
+    ifetches, dataset_accesses, privates = profile.mix
+    gap = profile.gap
+    code_pages = profile.code_hot + profile.lib_hot
+    code_zipf = ZipfGenerator(code_pages, 0.5, seed=seed ^ 0xF10)
+    dataset_zipf = (ZipfGenerator(profile.dataset_pages, profile.zipf_theta,
+                                  seed=seed ^ 0xDA7A)
+                    if profile.zipf_theta else None)
+    # Regular apps (FIO) sweep sequential windows; each container starts at
+    # a different offset ("different random locations", Section VI) with
+    # partial overlap across containers.
+    seq_cursor = (container_index * profile.dataset_pages // 3) % profile.dataset_pages
+    edge_cursor = rng.randrange(profile.private_pages)
+
+    for _ in range(iterations):
+        for _ in range(ifetches):
+            page = code_zipf.next()
+            if page < profile.code_hot:
+                yield (K_IFETCH, SegmentKind.CODE,
+                       page % profile.image.binary_pages,
+                       rng.randrange(64), gap, None)
+            else:
+                yield (K_IFETCH, SegmentKind.LIBS,
+                       (page - profile.code_hot) % profile.image.lib_pages,
+                       rng.randrange(64), gap, None)
+        for k in range(dataset_accesses):
+            if dataset_zipf is not None and k % 2 == 0:
+                page = dataset_zipf.next()
+            elif profile.zipf_theta:
+                seq_cursor = (seq_cursor + 1) % profile.dataset_pages
+                page = seq_cursor
+            else:
+                # GraphChi: random vertex page, low locality.
+                page = rng.randrange(profile.dataset_pages)
+            kind = (K_STORE if profile.dataset_writes
+                    and rng.random() < profile.dataset_write_frac else K_LOAD)
+            # FIO's regular ops reuse block-aligned lines; GraphChi's
+            # vertex reads stay scattered (word-granular, low locality).
+            line = ((page * 13) % 64 if profile.zipf_theta
+                    else rng.randrange(64))
+            yield (kind, SegmentKind.MMAP, page, line, gap, None)
+        for k in range(privates):
+            # Streaming through the private buffer (edges / io state);
+            # the stream wraps over the hot window (the full buffer for
+            # GraphChi's edge streams, a small state block for FIO).
+            # Every other access revisits data a few hundred pages back
+            # (GraphChi re-reads edge windows while updating), giving the
+            # private stream L2-TLB-distance reuse.
+            window = min(profile.private_hot, profile.private_pages)
+            if k % 2 and window > 512:
+                page = (edge_cursor - 384) % window
+            else:
+                edge_cursor = (edge_cursor + 1) % window
+                page = edge_cursor
+            kind = (K_STORE if rng.random() < profile.private_write_frac
+                    else K_LOAD)
+            yield (kind, SegmentKind.HEAP, page,
+                   rng.randrange(64), gap, None)

@@ -1,0 +1,69 @@
+"""Data-serving traces: ArangoDB, MongoDB, HTTPd driven by YCSB clients.
+
+Each container serves its own request stream (distinct YCSB client seed)
+against the shared data set; requests carry request ids so the simulator
+can report mean and 95th-percentile latency (Figure 11's serving metrics).
+"""
+
+import random
+
+from repro.kernel.vma import SegmentKind
+from repro.workloads.ycsb import YCSBDriver
+from repro.workloads.zipf import ZipfGenerator
+
+K_IFETCH, K_LOAD, K_STORE = 0, 1, 2
+
+
+def serving_trace(profile, container_index, requests=None, request_base=0,
+                  tag_requests=True, seed_offset=0):
+    """Trace generator for one data-serving container.
+
+    ``tag_requests=False`` produces an untagged warm-up stream.
+    """
+    requests = profile.requests if requests is None else requests
+    seed = container_index * 7919 + seed_offset
+    rng = random.Random(seed)
+    ifetches, reads, privates = profile.mix
+    driver = YCSBDriver(
+        profile.dataset_pages, profile.zipf_theta,
+        write_frac=profile.dataset_write_frac if profile.dataset_writes else 0.0,
+        reads_per_request=reads, seed=seed, request_base=request_base)
+    code_pages = profile.code_hot + profile.lib_hot
+    code_zipf = ZipfGenerator(code_pages, 0.6, seed=seed ^ 0xC0DE)
+    gap = profile.gap
+    # The scan cursor is deliberately container-independent in phase: all
+    # containers range-scan the same hot band of the shared data set.
+    scan_cursor = (request_base // 1_000_000) * 17 % max(1, profile.scan_band)
+
+    for request in driver.requests(requests):
+        rid = request.request_id if tag_requests else None
+        for _ in range(ifetches):
+            page = code_zipf.next()
+            if page < profile.code_hot:
+                yield (K_IFETCH, SegmentKind.CODE,
+                       page % profile.image.binary_pages,
+                       rng.randrange(64), gap, rid)
+            else:
+                yield (K_IFETCH, SegmentKind.LIBS,
+                       (page - profile.code_hot) % profile.image.lib_pages,
+                       rng.randrange(64), gap, rid)
+        for page in request.reads:
+            # Record-oriented access: a page's record starts at a fixed
+            # line, giving the data cache the reuse a real KV store sees.
+            yield (K_LOAD, SegmentKind.MMAP, page, (page * 13) % 64, gap, rid)
+        for _ in range(profile.scan_per_request):
+            scan_cursor = (scan_cursor + 7) % profile.scan_band
+            yield (K_LOAD, SegmentKind.MMAP, scan_cursor,
+                   (scan_cursor * 13) % 64, gap, rid)
+        for page in request.writes:
+            yield (K_STORE, SegmentKind.MMAP, page, (page * 13) % 64, gap, rid)
+        for _ in range(privates):
+            # Buffer pools are reused: most accesses hit the hot subset.
+            if rng.random() < 0.8:
+                page = rng.randrange(min(profile.private_hot,
+                                         profile.private_pages))
+            else:
+                page = rng.randrange(profile.private_pages)
+            kind = (K_STORE if rng.random() < profile.private_write_frac
+                    else K_LOAD)
+            yield (kind, SegmentKind.HEAP, page, rng.randrange(64), gap, rid)

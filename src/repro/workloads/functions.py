@@ -1,0 +1,65 @@
+"""Serverless function traces: Parse, Hash, Marshal (Section VI).
+
+All three are C/C++ functions on the OpenFaaS GCC base image, streaming
+over an input payload (shared across the user's functions) with dense or
+sparse element spacing. The instruction stream exercises the function's
+own code plus the common runtime libraries — which is where ~90% of a
+function's shareable translations live (Section VII-A).
+"""
+
+import random
+
+from repro.kernel.vma import SegmentKind
+from repro.workloads.zipf import ZipfGenerator
+
+K_IFETCH, K_LOAD, K_STORE = 0, 1, 2
+
+
+def function_input_pages(profile, dense):
+    """Pages of input payload a run touches (sparse covers 10x more)."""
+    return (profile.input_pages if dense
+            else profile.input_pages * profile.sparse_factor)
+
+
+def function_trace(profile, dense, container_index, code_offset,
+                   scratch_offset, seed_offset=0):
+    """Trace generator for one function execution to completion.
+
+    ``code_offset`` is the LIBS-segment page offset of the function's own
+    code mapping; ``scratch_offset`` the MMAP-segment page offset of its
+    scratch space (both assigned by the FaaS platform).
+    """
+    seed = container_index * 65537 + seed_offset + (0 if dense else 1)
+    rng = random.Random(seed)
+    pages = function_input_pages(profile, dense)
+    per_page = (profile.dense_accesses_per_page if dense
+                else profile.sparse_accesses_per_page)
+    lib_zipf = ZipfGenerator(profile.lib_hot, 0.6, seed=seed ^ 0x11B)
+    gap = profile.gap
+    scratch_base = 0
+    scratch_cursor = 0
+    ifetch_budget = 0.0
+
+    for _pass in range(profile.passes):
+        for page in range(pages):
+            line = rng.randrange(8)
+            for k in range(per_page):
+                ifetch_budget += profile.ifetch_ratio
+                if ifetch_budget >= 1.0:
+                    ifetch_budget -= 1.0
+                    if rng.random() < 0.25:
+                        yield (K_IFETCH, SegmentKind.LIBS,
+                               code_offset + rng.randrange(profile.code_pages),
+                               rng.randrange(64), gap, None)
+                    else:
+                        yield (K_IFETCH, SegmentKind.LIBS, lib_zipf.next(),
+                               rng.randrange(64), gap, None)
+                # Dense walks successive lines of the page; sparse touches
+                # ~10% of the page before moving on.
+                line = (line + (5 if dense else 29)) % 64
+                yield (K_LOAD, SegmentKind.MMAP, page, line, gap, None)
+            if page % 8 == 0:
+                scratch_cursor = (scratch_cursor + 1) % profile.scratch_pages
+                yield (K_STORE, SegmentKind.MMAP,
+                       scratch_offset + scratch_base + scratch_cursor,
+                       rng.randrange(64), gap, None)

@@ -1,0 +1,193 @@
+"""Per-application models (Section VI's workloads).
+
+Footprints are scaled from the paper's 500MB datasets to page counts a
+pure-Python simulator can drive while preserving the competitive ratios
+that matter: dataset pages vs the 1536-entry L2 TLB (pressure), shared vs
+private pages per container (Figure 9's shareability mix), and access
+locality (zipfian for YCSB-driven serving, random traversal for GraphChi,
+streaming for HTTPd/FIO, dense/sparse strides for functions).
+
+THP notes (Section VII-A): MongoDB and ArangoDB recommend disabling
+transparent huge pages, so their models carry none; the others map a
+modest anonymous huge region touched only at initialization — which is
+exactly why the paper finds THP pte_ts "rarely active".
+"""
+
+import dataclasses
+
+from repro.containers.image import ContainerImage
+
+
+@dataclasses.dataclass(frozen=True)
+class AppProfile:
+    name: str
+    kind: str                      # "serving" | "compute"
+    image: ContainerImage
+    #: Shared data set (MAP_SHARED file), pages.
+    dataset_pages: int
+    #: Whether the app writes the shared data set in place.
+    dataset_writes: bool
+    #: Private anonymous working memory per container (internal buffers).
+    private_pages: int
+    #: 2MB anonymous huge-page blocks per container (THP; init-touched).
+    thp_blocks: int
+    #: Zipf skew of data set accesses (0 = uniform / random traversal).
+    zipf_theta: float
+    #: Requests (serving) or iterations (compute) measured per container.
+    requests: int
+    #: Accesses per request: (ifetches, dataset reads, private accesses).
+    mix: tuple
+    #: Per-request accesses to a shared sequential scan band (range scans
+    #: over the same hot tables/content — the cross-container overlap the
+    #: paper highlights: "a large number of the pages accessed is the
+    #: same across containers").
+    scan_per_request: int
+    scan_band: int
+    #: Fraction of dataset accesses that are writes.
+    dataset_write_frac: float
+    #: Fraction of private accesses that are writes.
+    private_write_frac: float
+    #: Hot subset of the private buffer that most private accesses hit
+    #: (buffer pools and working buffers are reused; GraphChi's streaming
+    #: edge buffers set this to the full private size).
+    private_hot: int
+    #: Mean non-memory instruction gap between accesses.
+    gap: int
+    #: Fraction of the dataset touched during OS warm-up.
+    warm_fraction: float
+    #: Steady-state resident fraction of the data set per container: the
+    #: OS warm-up touches this much, leaving the rest to fault during the
+    #: measured window (the paper's tail-latency effects).
+    warm_coverage: float
+    #: Hot code pages (binary + libs) the instruction stream cycles over.
+    code_hot: int
+    lib_hot: int
+    containers_per_core: int = 2
+
+
+def _image(name, binary, bdata, libs, ldata, infra, bringup=220, heap=4096):
+    return ContainerImage(name=name, binary_pages=binary,
+                          binary_data_pages=bdata, lib_pages=libs,
+                          lib_data_pages=ldata, infra_pages=infra,
+                          bringup_touch_pages=bringup, heap_pages=heap)
+
+
+#: Data-serving applications (YCSB-driven, 500MB scaled to ~6K pages).
+_MONGODB = AppProfile(
+    name="mongodb", kind="serving",
+    image=_image("mongodb", binary=64, bdata=12, libs=384, ldata=24, infra=128),
+    # Memory-mapped storage engine: most active state is the shared data.
+    dataset_pages=6144, dataset_writes=True, private_pages=1536,
+    thp_blocks=0,  # MongoDB warns against THP
+    zipf_theta=0.92, requests=260, mix=(3, 3, 2),
+    scan_per_request=4, scan_band=640,
+    dataset_write_frac=0.08, private_write_frac=0.7,
+    private_hot=96, gap=75,
+    warm_fraction=0.35, warm_coverage=0.995, code_hot=48, lib_hot=96,
+)
+
+_ARANGODB = AppProfile(
+    name="arangodb", kind="serving",
+    image=_image("arangodb", binary=72, bdata=16, libs=384, ldata=24, infra=128),
+    # RocksDB engine: more internal buffering (memtables, block cache).
+    dataset_pages=4096, dataset_writes=True, private_pages=3072,
+    thp_blocks=0,  # ArangoDB warns against THP
+    zipf_theta=0.80, requests=260, mix=(3, 4, 4),
+    scan_per_request=1, scan_band=384,
+    dataset_write_frac=0.10, private_write_frac=0.8,
+    private_hot=320, gap=85,
+    warm_fraction=0.30, warm_coverage=0.975, code_hot=56, lib_hot=96,
+)
+
+_HTTPD = AppProfile(
+    name="httpd", kind="serving",
+    image=_image("httpd", binary=96, bdata=12, libs=448, ldata=24, infra=128),
+    # Stream-oriented: modest shared content, code-heavy request path.
+    dataset_pages=1536, dataset_writes=False, private_pages=1024,
+    thp_blocks=0,
+    zipf_theta=0.75, requests=300, mix=(8, 2, 2),
+    scan_per_request=3, scan_band=1024,
+    dataset_write_frac=0.0, private_write_frac=0.6,
+    private_hot=96, gap=70,
+    warm_fraction=0.5, warm_coverage=1.0, code_hot=160, lib_hot=256,
+)
+
+#: Compute applications.
+_GRAPHCHI = AppProfile(
+    name="graphchi", kind="compute",
+    image=_image("graphchi", binary=48, bdata=8, libs=320, ldata=16, infra=96,
+                 heap=8192),
+    # PageRank over a shared SNAP graph; per-container edge buffers
+    # dominate the active set (low-locality vertex accesses).
+    dataset_pages=4096, dataset_writes=False, private_pages=6144,
+    thp_blocks=2,
+    zipf_theta=0.0, requests=220, mix=(2, 4, 6),
+    scan_per_request=0, scan_band=0,
+    dataset_write_frac=0.0, private_write_frac=0.55,
+    private_hot=6144, gap=95,
+    warm_fraction=0.4, warm_coverage=0.99, code_hot=40, lib_hot=64,
+)
+
+_FIO = AppProfile(
+    name="fio", kind="compute",
+    image=_image("fio", binary=32, bdata=8, libs=256, ldata=16, infra=96),
+    # In-memory I/O over a shared 500MB file with regular access patterns.
+    dataset_pages=6144, dataset_writes=True, private_pages=512,
+    thp_blocks=2,
+    zipf_theta=0.55, requests=260, mix=(2, 7, 1),
+    scan_per_request=0, scan_band=0,
+    dataset_write_frac=0.3, private_write_frac=0.7,
+    private_hot=96, gap=85,
+    warm_fraction=0.45, warm_coverage=0.93, code_hot=24, lib_hot=48,
+)
+
+APP_PROFILES = {p.name: p for p in
+                (_MONGODB, _ARANGODB, _HTTPD, _GRAPHCHI, _FIO)}
+SERVING_APPS = ("mongodb", "arangodb", "httpd")
+COMPUTE_APPS = ("graphchi", "fio")
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionProfile:
+    """A serverless function (Section VI's Parse/Hash/Marshal).
+
+    Dense and sparse inputs do the *same work* (same access count); sparse
+    spreads it over ``sparse_factor`` times more pages, touching ~10% of
+    each page — so page-table work dominates sparse executions (the 55%
+    case of Figure 11) while compute dominates dense ones (the 10% case).
+    """
+
+    name: str
+    code_pages: int
+    #: Dense input size, pages; sparse input is input_pages*sparse_factor.
+    input_pages: int
+    scratch_pages: int
+    sparse_factor: int = 16
+    dense_accesses_per_page: int = 22
+    sparse_accesses_per_page: int = 1
+    #: Instruction fetches per data access (function + libc code).
+    ifetch_ratio: float = 0.4
+    #: Functions do real computation per element (djb2 hashing, token
+    #: scanning): a large instruction gap per access.
+    gap: int = 260
+    lib_hot: int = 220
+    passes: int = 10
+
+
+FUNCTION_PROFILES = {
+    "parse": FunctionProfile("parse", code_pages=16, input_pages=64,
+                             scratch_pages=32),
+    "hash": FunctionProfile("hash", code_pages=16, input_pages=64,
+                            scratch_pages=16),
+    "marshal": FunctionProfile("marshal", code_pages=16, input_pages=64,
+                               scratch_pages=24),
+}
+FUNCTION_NAMES = ("parse", "hash", "marshal")
+
+#: The common base image for all functions — the paper uses the GCC image
+#: from Docker Hub, whose runtime/libraries dominate function footprints
+#: (~90% of their shareable pte_ts are infrastructure pages).
+FAAS_BASE_IMAGE = ContainerImage(
+    name="faas-gcc", binary_pages=32, binary_data_pages=8,
+    lib_pages=1536, lib_data_pages=32, infra_pages=512,
+    heap_pages=1024, bringup_touch_pages=380)

@@ -1,0 +1,68 @@
+"""Trace (de)serialization: record streams as JSONL files.
+
+Workload generators are deterministic, but persisting a trace makes a run
+exactly re-playable across machines and versions — and lets external
+traces (e.g. converted from real TLB-trace collections) drive the
+simulator. One JSON array per line::
+
+    [kind, segment_name, page_offset, line, gap, request_id]
+"""
+
+import json
+
+from repro.kernel.vma import SegmentKind
+
+_SEGMENTS = {segment.value: segment for segment in SegmentKind}
+
+
+def save_trace(records, path):
+    """Write an iterable of trace records to ``path``; returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        for kind, segment, page, line, gap, rid in records:
+            handle.write(json.dumps(
+                [kind, segment.value, page, line, gap, rid]))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path):
+    """Yield trace records from a JSONL trace file."""
+    with open(path) as handle:
+        for line_no, raw in enumerate(handle, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                kind, segment_name, page, line, gap, rid = json.loads(raw)
+                segment = _SEGMENTS[segment_name]
+            except (ValueError, KeyError) as exc:
+                raise ValueError("%s:%d: bad trace record: %s"
+                                 % (path, line_no, exc)) from exc
+            if kind not in (0, 1, 2):
+                raise ValueError("%s:%d: bad access kind %r"
+                                 % (path, line_no, kind))
+            yield (kind, segment, page, line, gap, rid)
+
+
+def trace_stats(records):
+    """Summarize a record stream: counts per kind/segment, page footprint."""
+    stats = {
+        "records": 0,
+        "instructions": 0,
+        "by_kind": {0: 0, 1: 0, 2: 0},
+        "pages_by_segment": {},
+        "requests": set(),
+    }
+    for kind, segment, page, _line, gap, rid in records:
+        stats["records"] += 1
+        stats["instructions"] += gap + 1
+        stats["by_kind"][kind] += 1
+        stats["pages_by_segment"].setdefault(segment, set()).add(page)
+        if rid is not None:
+            stats["requests"].add(rid)
+    stats["footprint_pages"] = sum(
+        len(pages) for pages in stats["pages_by_segment"].values())
+    stats["requests"] = len(stats["requests"])
+    return stats

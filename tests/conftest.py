@@ -1,0 +1,84 @@
+"""Shared fixtures: miniature kernels, CCID groups, and deployments."""
+
+import pytest
+
+from repro.core.aslr import ASLRMode, group_layout_for, process_layout_for
+from repro.core.ccid import CCIDRegistry
+from repro.core.mask_page import MaskPageDirectory
+from repro.core.shared_pt import SharedPTManager
+from repro.hw.params import baseline_machine
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.vma import SegmentKind, VMAKind
+
+
+class MiniSystem:
+    """A small kernel + one CCID group + a zygote with typical mappings."""
+
+    def __init__(self, babelfish, thp=True, max_writers=32, aslr_mode=None):
+        self.aslr_mode = aslr_mode or (
+            ASLRMode.HW if babelfish else ASLRMode.INHERITED)
+        self.registry = CCIDRegistry()
+        self.group = self.registry.group_for("tenant", "miniapp")
+        policy = None
+        if babelfish:
+            policy = SharedPTManager(
+                MaskPageDirectory(max_writers=max_writers))
+        self.kernel = Kernel(KernelConfig(thp_enabled=thp), policy=policy)
+        if babelfish:
+            self.kernel.policy.mask_dir.allocator = self.kernel.allocator
+        self.policy = self.kernel.policy
+        self.layout = group_layout_for(self.group, self.aslr_mode)
+        self.lib = self.kernel.create_file("lib", 1024)
+        self.data = self.kernel.create_file("data", 1024)
+        self.kernel.page_cache.populate(self.lib)
+        self.kernel.page_cache.populate(self.data)
+        self.zygote = self.kernel.spawn(self.group.ccid, self.layout,
+                                        name="zygote")
+        self.kernel.mmap(self.zygote, SegmentKind.LIBS, 0, 1024,
+                         VMAKind.FILE_PRIVATE, file=self.lib,
+                         writable=False, executable=True, name="lib")
+        self.kernel.mmap(self.zygote, SegmentKind.MMAP, 0, 1024,
+                         VMAKind.FILE_SHARED, file=self.data,
+                         writable=True, name="data")
+        self.kernel.mmap(self.zygote, SegmentKind.HEAP, 0, 2048,
+                         VMAKind.ANON, name="heap")
+        self.bindata = self.kernel.create_file("bindata", 8)
+        self.kernel.page_cache.populate(self.bindata)
+        self.kernel.mmap(self.zygote, SegmentKind.DATA, 0, 8,
+                         VMAKind.FILE_PRIVATE, file=self.bindata,
+                         writable=True, name="bindata")
+
+    def fork(self, name="child"):
+        layout_proc = process_layout_for(self.group, self.aslr_mode,
+                                         pid_seed=len(self.group.members) + 1)
+        child, _cycles = self.kernel.fork(self.zygote,
+                                          layout_proc=layout_proc, name=name)
+        self.group.add(child)
+        return child
+
+    def vpn(self, proc, segment, off):
+        return proc.vpn_group(segment, off)
+
+    def touch(self, proc, segment, off, write=False):
+        return self.kernel.touch(proc, self.vpn(proc, segment, off),
+                                 is_write=write)
+
+
+@pytest.fixture
+def mini_baseline():
+    return MiniSystem(babelfish=False)
+
+
+@pytest.fixture
+def mini_babelfish():
+    return MiniSystem(babelfish=True)
+
+
+@pytest.fixture(params=[False, True], ids=["baseline", "babelfish"])
+def mini_any(request):
+    return MiniSystem(babelfish=request.param)
+
+
+@pytest.fixture
+def machine2():
+    return baseline_machine(cores=2)

@@ -1,0 +1,101 @@
+"""Tests for the ASLR modes module, the ASCII charts, and the report CLI
+glue (cheap pieces not covered elsewhere)."""
+
+import pytest
+
+from repro.core.aslr import ASLRMode, group_layout_for, process_layout_for
+from repro.core.ccid import CCIDRegistry
+from repro.experiments.ascii_chart import (
+    grouped_hbar_chart,
+    hbar_chart,
+    stacked_fraction_chart,
+)
+
+
+class TestASLRModes:
+    def group(self):
+        return CCIDRegistry().group_for("u", "a")
+
+    def test_mode_properties(self):
+        assert ASLRMode.HW.per_process_layout
+        assert not ASLRMode.SW.per_process_layout
+        assert not ASLRMode.INHERITED.per_process_layout
+        assert not ASLRMode.HW.shares_l1
+        assert ASLRMode.SW.shares_l1
+        assert ASLRMode.INHERITED.shares_l1
+
+    def test_group_layout_deterministic(self):
+        group = self.group()
+        for mode in ASLRMode:
+            assert (group_layout_for(group, mode)
+                    == group_layout_for(group, mode))
+
+    def test_sw_process_layout_equals_group(self):
+        group = self.group()
+        layout = process_layout_for(group, ASLRMode.SW, pid_seed=5)
+        assert layout == group_layout_for(group, ASLRMode.SW)
+
+    def test_hw_process_layouts_unique(self):
+        group = self.group()
+        a = process_layout_for(group, ASLRMode.HW, pid_seed=1)
+        b = process_layout_for(group, ASLRMode.HW, pid_seed=2)
+        assert a != b
+        assert a != group_layout_for(group, ASLRMode.HW)
+
+    def test_different_groups_different_layouts(self):
+        registry = CCIDRegistry()
+        a = registry.group_for("u", "a")
+        b = registry.group_for("u", "b")
+        assert (group_layout_for(a, ASLRMode.SW)
+                != group_layout_for(b, ASLRMode.SW))
+
+
+class TestAsciiCharts:
+    ROWS = [{"app": "x", "v": 10.0, "w": 5.0, "total": 20},
+            {"app": "longer-name", "v": 20.0, "w": 2.5, "total": 40}]
+
+    def test_hbar(self):
+        chart = hbar_chart(self.ROWS, "v", title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        # The larger value has the longer bar.
+        assert lines[2].count("#") > lines[1].count("#")
+        assert "20.0" in lines[2]
+
+    def test_hbar_empty(self):
+        assert hbar_chart([], "v", title="T") == "T"
+
+    def test_hbar_zero_values(self):
+        chart = hbar_chart([{"app": "z", "v": 0.0}], "v")
+        assert "#" not in chart
+
+    def test_grouped(self):
+        chart = grouped_hbar_chart(self.ROWS, ["v", "w"],
+                                   legend=["first", "second"])
+        assert "first" in chart and "second" in chart
+        assert chart.count("=") > 0  # second series mark
+
+    def test_stacked(self):
+        chart = stacked_fraction_chart(self.ROWS, ["v", "w"], "total",
+                                       legend=["a", "b"])
+        lines = chart.splitlines()
+        # Bars are proportional to fractions of the row's total.
+        assert "#" in lines[1] and "-" in lines[1]
+
+    def test_bar_width_bounded(self):
+        chart = hbar_chart(self.ROWS, "v", width=10)
+        for line in chart.splitlines()[1:]:
+            assert line.count("#") <= 10
+
+
+class TestReportCLI:
+    def test_arg_parsing_and_quick_run(self, capsys):
+        from repro.report import main
+        # Tiny run to exercise the whole code path.
+        code = main(["--cores", "1", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 11" in out
+        assert "Table III" in out
+        assert "core area overhead" in out

@@ -1,0 +1,135 @@
+"""Tests for the kernel auditor — clean states pass, corrupted fail —
+plus audits after every major scenario."""
+
+import pytest
+
+from repro.kernel.audit import AuditError, audit_kernel
+from repro.kernel.vma import SegmentKind
+
+from conftest import MiniSystem
+
+HEAP, MMAP, DATA = SegmentKind.HEAP, SegmentKind.MMAP, SegmentKind.DATA
+
+
+class TestCleanStates:
+    def test_fresh_system(self, mini_any):
+        assert audit_kernel(mini_any.kernel) == []
+
+    def test_after_faults(self, mini_any):
+        sys = mini_any
+        for off in range(16):
+            sys.touch(sys.zygote, MMAP, off)
+            sys.touch(sys.zygote, HEAP, off, write=True)
+        assert audit_kernel(sys.kernel) == []
+
+    def test_after_forks(self, mini_any):
+        sys = mini_any
+        sys.touch(sys.zygote, MMAP, 0)
+        sys.touch(sys.zygote, HEAP, 0, write=True)
+        for i in range(3):
+            sys.fork("c%d" % i)
+        assert audit_kernel(sys.kernel) == []
+
+    def test_after_cow_storm(self, mini_babelfish):
+        sys = mini_babelfish
+        for off in range(4):
+            sys.touch(sys.zygote, HEAP, off, write=True)
+        children = [sys.fork("c%d" % i) for i in range(4)]
+        for i, child in enumerate(children):
+            sys.touch(child, HEAP, i, write=True)
+        assert audit_kernel(sys.kernel) == []
+
+    def test_after_exits(self, mini_babelfish):
+        sys = mini_babelfish
+        sys.touch(sys.zygote, MMAP, 0)
+        children = [sys.fork("c%d" % i) for i in range(3)]
+        for child in children:
+            sys.touch(child, HEAP, 0, write=True)
+        for child in children[:2]:
+            sys.kernel.exit_process(child)
+        assert audit_kernel(sys.kernel) == []
+
+    def test_after_munmap(self, mini_babelfish):
+        sys = mini_babelfish
+        sys.touch(sys.zygote, MMAP, 0)
+        a = sys.fork("a")
+        vma = a.mm.find(sys.vpn(a, MMAP, 0))
+        sys.kernel.munmap(a, vma)
+        assert audit_kernel(sys.kernel) == []
+
+    def test_after_revert(self):
+        sys = MiniSystem(babelfish=True, max_writers=2)
+        sys.touch(sys.zygote, HEAP, 0, write=True)
+        children = [sys.fork("c%d" % i) for i in range(3)]
+        for child in children:
+            sys.touch(child, HEAP, 0, write=True)
+        assert sys.policy.reverts == 1
+        assert audit_kernel(sys.kernel) == []
+
+    def test_after_full_experiment(self):
+        from repro.experiments.common import (
+            build_environment, config_by_name, deploy_app, measure_app)
+        from repro.workloads.profiles import APP_PROFILES
+        env = build_environment(config_by_name("BabelFish"), cores=1)
+        deployment = deploy_app(env, APP_PROFILES["httpd"])
+        measure_app(env, deployment, scale=0.05)
+        assert audit_kernel(env.kernel) == []
+
+
+class TestCorruptionDetected:
+    def test_sharer_count_corruption(self, mini_babelfish):
+        sys = mini_babelfish
+        sys.touch(sys.zygote, MMAP, 0)
+        a = sys.fork("a")
+        vpn = sys.vpn(a, MMAP, 0)
+        table = a.tables.walk(vpn)[-1][1]
+        table.sharers += 1
+        with pytest.raises(AuditError) as excinfo:
+            audit_kernel(sys.kernel)
+        assert "sharers mismatch" in str(excinfo.value)
+
+    def test_refcount_corruption(self, mini_baseline):
+        sys = mini_baseline
+        pte = sys.touch(sys.zygote, HEAP, 0, write=True)
+        sys.kernel.allocator.incref(pte.ppn)
+        with pytest.raises(AuditError) as excinfo:
+            audit_kernel(sys.kernel)
+        assert "refcount" in str(excinfo.value)
+
+    def test_registry_corruption(self, mini_babelfish):
+        sys = mini_babelfish
+        a = sys.fork("a")
+        sys.touch(a, MMAP, 600)
+        key = next(iter(sys.policy.registry))
+        table, backing = sys.policy.registry[key]
+        sys.policy.registry[("bogus", 1, 999)] = (table, backing)
+        with pytest.raises(AuditError):
+            audit_kernel(sys.kernel)
+
+    def test_cross_ccid_leak_detected(self, mini_babelfish):
+        sys = mini_babelfish
+        a = sys.fork("a")
+        sys.touch(a, MMAP, 600)
+        # Manufacture a second group and graft a's table into it.
+        other = sys.registry.group_for("tenant", "other-app")
+        intruder = sys.kernel.spawn(other.ccid, sys.layout, name="intruder")
+        vpn = sys.vpn(a, MMAP, 600)
+        table = a.tables.walk(vpn)[-1][1]
+        from repro.kernel.page_table import TableRef, table_index, PMD
+        itable, idx, _ = intruder.tables.ensure_path(vpn)
+        # Replace the private table with a's shared one.
+        path = intruder.tables.walk(vpn)
+        _lvl, pmd_table, pmd_idx, _e = path[-2] if len(path) >= 2 else path[-1]
+        pmd_parent = intruder.tables.walk(vpn)[2][1]
+        pmd_parent.entries[table_index(vpn, PMD)] = TableRef(table)
+        table.sharers += 1
+        with pytest.raises(AuditError) as excinfo:
+            audit_kernel(sys.kernel)
+        assert "crosses CCIDs" in str(excinfo.value)
+
+    def test_findings_without_raise(self, mini_baseline):
+        sys = mini_baseline
+        pte = sys.touch(sys.zygote, HEAP, 0, write=True)
+        sys.kernel.allocator.incref(pte.ppn)
+        findings = audit_kernel(sys.kernel, raise_on_failure=False)
+        assert findings

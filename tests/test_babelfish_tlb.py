@@ -1,0 +1,173 @@
+"""Tests for the Figure 8 TLB lookup flowchart."""
+
+from repro.core.babelfish_tlb import (
+    BabelFishLookup,
+    babelfish_fill_fields,
+    conventional_lookup,
+    entry_region,
+    make_entry,
+)
+from repro.hw.params import TLBParams
+from repro.hw.tlb import MultiSizeTLB, TLBEntry
+from repro.hw.types import PageSize
+from repro.kernel.page_table import PTE
+
+
+class FakeProc:
+    def __init__(self, pid=1, pcid=1, ccid=7, pc_bits=None):
+        self.pid = pid
+        self.pcid = pcid
+        self.ccid = ccid
+        self.pc_bits = pc_bits or {}
+
+
+def multi():
+    return MultiSizeTLB([TLBParams("4k", 16, 4, PageSize.SIZE_4K, 10, 12)])
+
+
+def shared_entry(vpn=0x10, ppn=0x100, ccid=7, orpc=False, pc_mask=0,
+                 cow=False, writable=True, inserted_by=99):
+    return TLBEntry(vpn, ppn, pcid=12, ccid=ccid, writable=writable,
+                    cow=cow, o_bit=False, orpc=orpc, pc_mask=pc_mask,
+                    inserted_by=inserted_by)
+
+
+def owned_entry(vpn=0x10, ppn=0x200, pcid=1, ccid=7):
+    return TLBEntry(vpn, ppn, pcid=pcid, ccid=ccid, o_bit=True,
+                    inserted_by=1)
+
+
+class TestFigure8:
+    def test_box1_ccid_mismatch_misses(self):
+        tlb = multi()
+        tlb.insert(shared_entry(ccid=8))
+        result = BabelFishLookup(tlb).lookup(0x10, FakeProc(ccid=7))
+        assert not result.hit
+
+    def test_shared_hit_any_process(self):
+        """Box 4: a shared entry hits for every process in the group."""
+        tlb = multi()
+        tlb.insert(shared_entry())
+        for pcid in (1, 2, 3):
+            result = BabelFishLookup(tlb).lookup(
+                0x10, FakeProc(pcid=pcid, ccid=7))
+            assert result.hit
+
+    def test_owned_entry_needs_pcid(self):
+        """Boxes 2/9: Ownership set means the PCID must also match."""
+        tlb = multi()
+        tlb.insert(owned_entry(pcid=1))
+        assert BabelFishLookup(tlb).lookup(0x10, FakeProc(pcid=1)).hit
+        assert not BabelFishLookup(tlb).lookup(0x10, FakeProc(pcid=2)).hit
+
+    def test_private_copy_holder_misses_shared(self):
+        """Box 3: a process whose PC bit is set cannot use the shared
+        entry."""
+        tlb = multi()
+        entry = shared_entry(orpc=True, pc_mask=0b100)
+        tlb.insert(entry)
+        region = entry_region(entry)
+        holder = FakeProc(pcid=1, ccid=7, pc_bits={region: 2})
+        other = FakeProc(pcid=2, ccid=7, pc_bits={region: 0})
+        stranger = FakeProc(pcid=3, ccid=7)
+        assert not BabelFishLookup(tlb).lookup(0x10, holder).hit
+        assert BabelFishLookup(tlb).lookup(0x10, other).hit
+        assert BabelFishLookup(tlb).lookup(0x10, stranger).hit
+
+    def test_bitmask_consultation_flag(self):
+        """ORPC clear: the PC bitmask read (and long access) is skipped."""
+        tlb = multi()
+        tlb.insert(shared_entry(orpc=False))
+        result = BabelFishLookup(tlb).lookup(0x10, FakeProc())
+        assert result.hit and not result.consulted_bitmask
+
+        tlb2 = multi()
+        tlb2.insert(shared_entry(orpc=True, pc_mask=1))
+        result2 = BabelFishLookup(tlb2).lookup(0x10, FakeProc(pcid=5))
+        assert result2.hit and result2.consulted_bitmask
+
+    def test_owned_hit_skips_bitmask(self):
+        tlb = multi()
+        tlb.insert(owned_entry(pcid=1))
+        result = BabelFishLookup(tlb).lookup(0x10, FakeProc(pcid=1))
+        assert result.hit and not result.consulted_bitmask
+
+    def test_write_to_cow_raises_cow_fault(self):
+        """Boxes 5/6: a write hit on a CoW entry is a CoW page fault."""
+        tlb = multi()
+        tlb.insert(shared_entry(cow=True, writable=False))
+        result = BabelFishLookup(tlb).lookup(0x10, FakeProc(), is_write=True)
+        assert result.cow_fault and not result.hit
+
+    def test_read_of_cow_hits(self):
+        tlb = multi()
+        tlb.insert(shared_entry(cow=True, writable=False))
+        result = BabelFishLookup(tlb).lookup(0x10, FakeProc(), is_write=False)
+        assert result.hit and not result.cow_fault
+
+    def test_write_permission_miss(self):
+        tlb = multi()
+        tlb.insert(shared_entry(writable=False))
+        result = BabelFishLookup(tlb).lookup(0x10, FakeProc(), is_write=True)
+        assert not result.hit and not result.cow_fault
+
+    def test_miss_on_empty(self):
+        result = BabelFishLookup(multi()).lookup(0x10, FakeProc())
+        assert not result.hit and result.entry is None
+
+    def test_shared_and_owned_coexist(self):
+        """The advanced case: most processes share {VPN0, PPN0}; one has
+        its private {VPN0, PPN1} (Section III-A)."""
+        tlb = multi()
+        shared = shared_entry(ppn=0x100, orpc=True, pc_mask=0b1)
+        tlb.insert(shared)
+        tlb.insert(owned_entry(ppn=0x200, pcid=9))
+        region = entry_region(shared)
+        owner = FakeProc(pcid=9, ccid=7, pc_bits={region: 0})
+        result = BabelFishLookup(tlb).lookup(0x10, owner)
+        assert result.hit and result.entry.ppn == 0x200
+        other = FakeProc(pcid=5, ccid=7)
+        result2 = BabelFishLookup(tlb).lookup(0x10, other)
+        assert result2.hit and result2.entry.ppn == 0x100
+
+
+class TestConventionalLookup:
+    def test_pcid_match(self):
+        tlb = multi()
+        tlb.insert(TLBEntry(0x10, 0x1, pcid=4, inserted_by=1))
+        assert conventional_lookup(tlb, 0x10, FakeProc(pcid=4)).hit
+        assert not conventional_lookup(tlb, 0x10, FakeProc(pcid=5)).hit
+
+    def test_cow_write(self):
+        tlb = multi()
+        tlb.insert(TLBEntry(0x10, 0x1, pcid=4, cow=True, writable=False))
+        result = conventional_lookup(tlb, 0x10, FakeProc(pcid=4),
+                                     is_write=True)
+        assert result.cow_fault
+
+
+class TestFillHelpers:
+    def test_fill_fields_skip_rules(self):
+        # O set: skip.
+        assert babelfish_fill_fields((True, False, 0)) == (True, False, 0, False)
+        # O clear, ORPC clear: skip.
+        assert babelfish_fill_fields((False, False, 0)) == (False, False, 0, False)
+        # O clear, ORPC set: load the mask (long access).
+        o, orpc, mask, long_access = babelfish_fill_fields((False, True, 0xF))
+        assert not o and orpc and mask == 0xF and long_access
+
+    def test_make_entry(self):
+        pte = PTE(0x123, writable=True, cow=False)
+        proc = FakeProc(pid=42, pcid=3, ccid=9)
+        entry = make_entry(0x10, pte, proc, (False, True, 0b10),
+                           PageSize.SIZE_4K)
+        assert entry.vpn == 0x10 and entry.ppn == 0x123
+        assert entry.ccid == 9 and entry.pcid == 3
+        assert entry.orpc and entry.pc_mask == 0b10
+        assert entry.inserted_by == 42
+
+    def test_entry_region_by_size(self):
+        e4k = TLBEntry(5 << 18, 1, PageSize.SIZE_4K)
+        assert entry_region(e4k) == 5
+        e2m = TLBEntry(5 << 9, 1, PageSize.SIZE_2M)
+        assert entry_region(e2m) == 5

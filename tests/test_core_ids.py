@@ -1,0 +1,171 @@
+"""Tests for CCID groups, the O-PC field, and MaskPages."""
+
+import pytest
+
+from repro.core.ccid import CCIDRegistry
+from repro.core.mask_page import (
+    MaskPage,
+    MaskPageDirectory,
+    MaskPageFull,
+    pmd_index_of,
+    region_of,
+)
+from repro.core.opc import MAX_PRIVATE_COPIES, OPCField
+from repro.kernel.frames import FrameAllocator, FrameKind
+
+
+class TestCCID:
+    def test_same_user_app_same_group(self):
+        reg = CCIDRegistry()
+        a = reg.group_for("u", "app")
+        b = reg.group_for("u", "app")
+        assert a is b
+
+    def test_distinct_apps_distinct_ccids(self):
+        reg = CCIDRegistry()
+        a = reg.group_for("u", "app1")
+        b = reg.group_for("u", "app2")
+        assert a.ccid != b.ccid
+
+    def test_distinct_users_distinct_ccids(self):
+        reg = CCIDRegistry()
+        assert (reg.group_for("u1", "app").ccid
+                != reg.group_for("u2", "app").ccid)
+
+    def test_by_ccid(self):
+        reg = CCIDRegistry()
+        group = reg.group_for("u", "app")
+        assert reg.by_ccid(group.ccid) is group
+        assert reg.by_ccid(4095) is None
+
+    def test_members(self):
+        reg = CCIDRegistry()
+        group = reg.group_for("u", "app")
+
+        class P:
+            alive = True
+        p = P()
+        group.add(p)
+        assert group.live_members() == [p]
+        group.remove(p)
+        assert group.live_members() == []
+
+    def test_aslr_seed_stable(self):
+        reg = CCIDRegistry(seed=5)
+        assert (reg.group_for("u", "a").aslr_seed
+                == reg.group_for("u", "a").aslr_seed)
+
+
+class TestOPC:
+    def test_default_clear(self):
+        field = OPCField()
+        assert not field.o_bit and not field.orpc and field.pc_mask == 0
+
+    def test_orpc_is_or_of_mask(self):
+        field = OPCField()
+        assert not field.orpc
+        field.set_bit(5)
+        assert field.orpc
+        field.clear_bit(5)
+        assert not field.orpc
+
+    def test_bit_ops(self):
+        field = OPCField()
+        field.set_bit(0)
+        field.set_bit(31)
+        assert field.test_bit(0) and field.test_bit(31)
+        assert not field.test_bit(15)
+
+    def test_out_of_range_rejected(self):
+        field = OPCField()
+        with pytest.raises(ValueError):
+            field.set_bit(32)
+        with pytest.raises(ValueError):
+            OPCField(pc_mask=1 << 32)
+
+    def test_pack_unpack_roundtrip(self):
+        field = OPCField(o_bit=True, pc_mask=0xDEAD)
+        assert OPCField.unpack(field.packed()) == field
+
+    def test_packed_layout(self):
+        field = OPCField(o_bit=True, pc_mask=0b10)
+        packed = field.packed()
+        assert packed & 1           # O
+        assert (packed >> 1) & 1    # ORPC
+        assert packed >> 2 == 0b10  # PC
+
+    def test_max_width(self):
+        assert MAX_PRIVATE_COPIES == 32
+
+
+class TestMaskPage:
+    def test_region_and_pmd_index(self):
+        vpn = (7 << 18) | (3 << 9) | 5
+        assert region_of(vpn) == 7
+        assert pmd_index_of(vpn) == 3
+
+    def test_assign_bits_in_order(self):
+        page = MaskPage(1, 0)
+        assert page.assign_bit(100) == 0
+        assert page.assign_bit(101) == 1
+        assert page.assign_bit(100) == 0  # idempotent
+
+    def test_overflow_raises(self):
+        page = MaskPage(1, 0)
+        for pid in range(32):
+            page.assign_bit(pid)
+        with pytest.raises(MaskPageFull):
+            page.assign_bit(999)
+
+    def test_custom_width(self):
+        page = MaskPage(1, 0, max_writers=2)
+        page.assign_bit(1)
+        page.assign_bit(2)
+        with pytest.raises(MaskPageFull):
+            page.assign_bit(3)
+
+    def test_set_private_per_pmd_index(self):
+        page = MaskPage(1, 0)
+        bit = page.assign_bit(7)
+        page.set_private(bit, 3)
+        assert page.mask(3) == 1 << bit
+        assert page.mask(4) == 0
+        assert page.orpc(3) and not page.orpc(4)
+
+    def test_bit_of_unknown_pid(self):
+        assert MaskPage(1, 0).bit_of(55) is None
+
+
+class TestMaskPageDirectory:
+    def test_get_or_create(self):
+        directory = MaskPageDirectory()
+        page = directory.get_or_create(1, 0x40000)
+        assert directory.get(1, 0x40000 + 5) is page  # same 1GB region
+        assert directory.get(1, 2 << 18) is None      # other region
+
+    def test_frames_allocated(self):
+        alloc = FrameAllocator()
+        directory = MaskPageDirectory(alloc)
+        directory.get_or_create(1, 0)
+        assert alloc.count(FrameKind.MASK_PAGE) == 1
+
+    def test_drop_releases_frame(self):
+        alloc = FrameAllocator()
+        directory = MaskPageDirectory(alloc)
+        directory.get_or_create(1, 0)
+        directory.drop(1, 0)
+        assert alloc.count(FrameKind.MASK_PAGE) == 0
+        assert directory.total_pages == 0
+
+    def test_mask_for(self):
+        directory = MaskPageDirectory()
+        page = directory.get_or_create(1, 0)
+        bit = page.assign_bit(9)
+        page.set_private(bit, pmd_index_of(0))
+        assert directory.mask_for(1, 0) == 1 << bit
+        assert directory.mask_for(1, 1 << 18) == 0
+
+    def test_width_propagates(self):
+        directory = MaskPageDirectory(max_writers=4)
+        page = directory.get_or_create(1, 0)
+        assert page.max_writers == 4

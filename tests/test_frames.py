@@ -1,0 +1,93 @@
+"""Tests for the physical frame allocator."""
+
+import pytest
+
+from repro.kernel.errors import OutOfMemoryError
+from repro.kernel.frames import FrameAllocator, FrameKind
+
+
+class TestFrameAllocator:
+    def test_alloc_unique(self):
+        alloc = FrameAllocator()
+        frames = {alloc.alloc() for _ in range(100)}
+        assert len(frames) == 100
+
+    def test_frame_zero_reserved(self):
+        alloc = FrameAllocator()
+        assert alloc.alloc() != 0
+
+    def test_kind_tracking(self):
+        alloc = FrameAllocator()
+        alloc.alloc(FrameKind.PAGE_TABLE)
+        alloc.alloc(FrameKind.DATA)
+        alloc.alloc(FrameKind.DATA)
+        assert alloc.count(FrameKind.PAGE_TABLE) == 1
+        assert alloc.count(FrameKind.DATA) == 2
+
+    def test_refcount_lifecycle(self):
+        alloc = FrameAllocator()
+        ppn = alloc.alloc()
+        assert alloc.refcount(ppn) == 1
+        alloc.incref(ppn)
+        assert alloc.refcount(ppn) == 2
+        assert alloc.decref(ppn) == 1
+        assert alloc.decref(ppn) == 0
+        assert alloc.refcount(ppn) == 0
+
+    def test_free_frame_reused(self):
+        alloc = FrameAllocator()
+        ppn = alloc.alloc()
+        alloc.decref(ppn)
+        assert alloc.alloc() == ppn
+
+    def test_decref_unallocated_raises(self):
+        alloc = FrameAllocator()
+        with pytest.raises(ValueError):
+            alloc.decref(0x999)
+
+    def test_incref_unallocated_raises(self):
+        alloc = FrameAllocator()
+        with pytest.raises(ValueError):
+            alloc.incref(0x999)
+
+    def test_out_of_memory(self):
+        alloc = FrameAllocator(total_frames=4)
+        for _ in range(3):
+            alloc.alloc()
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc()
+
+    def test_block_alloc_contiguous(self):
+        alloc = FrameAllocator()
+        base = alloc.alloc(pages=512)
+        nxt = alloc.alloc()
+        assert nxt >= base + 512
+
+    def test_block_freed_as_unit(self):
+        alloc = FrameAllocator()
+        before = alloc.allocated
+        base = alloc.alloc(FrameKind.DATA, pages=512)
+        assert alloc.allocated == before + 512
+        alloc.decref(base)
+        assert alloc.allocated == before
+
+    def test_block_refcount(self):
+        alloc = FrameAllocator()
+        base = alloc.alloc(pages=8)
+        alloc.incref(base)
+        alloc.decref(base)
+        assert alloc.refcount(base) == 1
+
+    def test_peak_tracking(self):
+        alloc = FrameAllocator()
+        pp = [alloc.alloc() for _ in range(10)]
+        for ppn in pp:
+            alloc.decref(ppn)
+        assert alloc.peak_allocated >= 10
+        assert alloc.allocated == 0
+
+    def test_kind_lookup(self):
+        alloc = FrameAllocator()
+        ppn = alloc.alloc(FrameKind.MASK_PAGE)
+        assert alloc.kind(ppn) is FrameKind.MASK_PAGE
+        assert alloc.kind(0x12345) is None

@@ -1,0 +1,147 @@
+"""Tests for TLB invalidation propagation across cores (shootdowns)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.params import baseline_machine
+from repro.hw.types import AccessKind, PageSize
+from repro.kernel.fault import InvalidationScope, TLBInvalidation
+from repro.kernel.vma import SegmentKind
+from repro.sim.config import babelfish_config, baseline_config
+from repro.sim.simulator import K_LOAD, K_STORE, Simulator
+
+from conftest import MiniSystem
+
+HEAP, MMAP = SegmentKind.HEAP, SegmentKind.MMAP
+
+
+def sim_for(sys, babelfish, cores=2):
+    config = babelfish_config() if babelfish else baseline_config()
+    return Simulator(baseline_machine(cores=cores), config, sys.kernel)
+
+
+class TestCrossCoreShootdown:
+    def test_cow_break_invalidates_remote_shared_entry(self):
+        sys = MiniSystem(babelfish=True)
+        sys.touch(sys.zygote, HEAP, 0, write=True)
+        a, b = sys.fork("a"), sys.fork("b")
+        sim = sim_for(sys, babelfish=True)
+        mmu0, mmu1 = sim.mmus
+        # b loads the shared CoW entry on core 1.
+        mmu1.translate(b, HEAP, 0, AccessKind.LOAD)
+        shared_in_l2 = [e for e in mmu1.l2.entries() if not e.o_bit]
+        assert shared_in_l2, "expected a shared entry on core 1"
+        # a writes on core 0 -> CoW break -> remote invalidation.
+        mmu0.translate(a, HEAP, 0, AccessKind.STORE)
+        shared_after = [e for e in mmu1.l2.entries() if not e.o_bit]
+        assert not shared_after
+
+    def test_owned_entries_survive_shared_invalidation(self):
+        sys = MiniSystem(babelfish=True)
+        sys.touch(sys.zygote, HEAP, 0, write=True)
+        a, b = sys.fork("a"), sys.fork("b")
+        sim = sim_for(sys, babelfish=True)
+        mmu0, mmu1 = sim.mmus
+        # b breaks CoW first: owns a private entry on core 1.
+        mmu1.translate(b, HEAP, 0, AccessKind.STORE)
+        owned_before = [e for e in mmu1.l2.entries() if e.o_bit]
+        assert owned_before
+        # a breaks CoW on core 0: only shared entries are shot down.
+        mmu0.translate(a, HEAP, 0, AccessKind.STORE)
+        owned_after = [e for e in mmu1.l2.entries()
+                       if e.o_bit and e.pcid == b.pcid]
+        assert owned_after
+
+    def test_baseline_cow_shootdown_own_entries(self):
+        sys = MiniSystem(babelfish=False)
+        sys.touch(sys.zygote, HEAP, 0, write=True)
+        a = sys.fork("a")
+        sim = sim_for(sys, babelfish=False)
+        mmu0 = sim.mmus[0]
+        mmu0.translate(a, HEAP, 0, AccessKind.LOAD)
+        mmu0.translate(a, HEAP, 0, AccessKind.STORE)
+        # a's surviving entries map the new private frame, writable.
+        pte = a.tables.lookup_pte(sys.vpn(a, HEAP, 0))
+        for entry in mmu0.l2.entries():
+            if entry.pcid == a.pcid:
+                assert entry.ppn == pte.ppn
+                assert entry.writable
+
+
+class TestScopes:
+    def apply(self, mmu, proc, inv):
+        mmu.apply_invalidation(proc, inv)
+
+    def test_process_scope_translates_to_proc_space(self):
+        """Under ASLR-HW the L1 holds process-space VPNs; a PROCESS-scope
+        invalidation must hit them too."""
+        from repro.core.aslr import ASLRMode
+        sys = MiniSystem(babelfish=True, aslr_mode=ASLRMode.HW)
+        a = sys.fork("a")
+        sim = sim_for(sys, babelfish=True)
+        mmu = sim.mmus[0]
+        mmu.translate(a, MMAP, 5, AccessKind.LOAD)
+        assert any(e.pcid == a.pcid for e in mmu.l1d.entries())
+        vpn_group = sys.vpn(a, MMAP, 5)
+        self.apply(mmu, a, TLBInvalidation(
+            vpn_group, InvalidationScope.PROCESS, pcid=a.pcid, ccid=a.ccid))
+        assert not any(e.pcid == a.pcid for e in mmu.l1d.entries())
+
+    def test_region_scope_flushes_whole_region(self):
+        sys = MiniSystem(babelfish=True)
+        sys.touch(sys.zygote, MMAP, 0)
+        sys.touch(sys.zygote, MMAP, 1)
+        a = sys.fork("a")
+        sim = sim_for(sys, babelfish=True)
+        mmu = sim.mmus[0]
+        mmu.translate(a, MMAP, 0, AccessKind.LOAD)
+        mmu.translate(a, MMAP, 1, AccessKind.LOAD)
+        vpn = sys.vpn(a, MMAP, 0)
+        self.apply(mmu, a, TLBInvalidation(
+            vpn, InvalidationScope.REGION_SHARED, ccid=a.ccid))
+        assert not [e for e in mmu.l2.entries() if not e.o_bit]
+
+    def test_shared_scope_leaves_other_ccids(self):
+        sys = MiniSystem(babelfish=True)
+        a = sys.fork("a")
+        sim = sim_for(sys, babelfish=True)
+        mmu = sim.mmus[0]
+        mmu.translate(a, MMAP, 3, AccessKind.LOAD)
+        vpn = sys.vpn(a, MMAP, 3)
+        self.apply(mmu, a, TLBInvalidation(
+            vpn, InvalidationScope.SHARED_ENTRY, ccid=a.ccid + 1))
+        assert [e for e in mmu.l2.entries() if not e.o_bit]
+
+
+class TestHugeTranslation:
+    def test_huge_page_through_mmu(self):
+        sys = MiniSystem(babelfish=False)
+        from repro.kernel.vma import VMAKind
+        sys.kernel.mmap(sys.zygote, HEAP, 2048, 1024, VMAKind.ANON,
+                        huge_ok=True, name="thp")
+        sim = sim_for(sys, babelfish=False, cores=1)
+        mmu = sim.mmus[0]
+        result = mmu.translate(sys.zygote, HEAP, 2048 + 5, AccessKind.STORE)
+        assert result.page_size is PageSize.SIZE_2M
+        pte = sys.zygote.tables.lookup_pte(sys.vpn(sys.zygote, HEAP, 2048))
+        assert result.ppn4k == pte.ppn + 5
+        # Next access within the block hits the 2M L1 entry.
+        result2 = mmu.translate(sys.zygote, HEAP, 2048 + 400,
+                                AccessKind.LOAD)
+        assert result2.cycles == 1
+        assert result2.ppn4k == pte.ppn + 400
+
+    def test_huge_entry_invalidation(self):
+        sys = MiniSystem(babelfish=False)
+        from repro.kernel.vma import VMAKind
+        sys.kernel.mmap(sys.zygote, HEAP, 2048, 1024, VMAKind.ANON,
+                        huge_ok=True, name="thp")
+        sim = sim_for(sys, babelfish=False, cores=1)
+        mmu = sim.mmus[0]
+        mmu.translate(sys.zygote, HEAP, 2048, AccessKind.STORE)
+        vpn = sys.vpn(sys.zygote, HEAP, 2048) + 17  # any 4K vpn inside
+        mmu.apply_invalidation(sys.zygote, TLBInvalidation(
+            vpn, InvalidationScope.PROCESS, pcid=sys.zygote.pcid,
+            ccid=sys.zygote.ccid))
+        assert not list(mmu.l2.entries())

@@ -1,0 +1,105 @@
+"""Tests for munmap: zapping, shared-table detach, partial coverage."""
+
+import pytest
+
+from repro.kernel.errors import SegmentationFault
+from repro.kernel.frames import FrameKind
+from repro.kernel.vma import SegmentKind, VMAKind
+
+from conftest import MiniSystem
+
+HEAP, MMAP = SegmentKind.HEAP, SegmentKind.MMAP
+
+
+class TestPrivateMunmap:
+    def test_zaps_leaves_and_frees_frames(self, mini_baseline):
+        sys = mini_baseline
+        pte = sys.touch(sys.zygote, HEAP, 0, write=True)
+        ppn = pte.ppn
+        vma = sys.zygote.mm.find(sys.vpn(sys.zygote, HEAP, 0))
+        invs = sys.kernel.munmap(sys.zygote, vma)
+        assert sys.kernel.allocator.refcount(ppn) == 0
+        assert sys.zygote.tables.lookup_pte(sys.vpn(sys.zygote, HEAP, 0)) is None
+        assert invs
+
+    def test_access_after_munmap_segfaults(self, mini_baseline):
+        sys = mini_baseline
+        sys.touch(sys.zygote, HEAP, 0, write=True)
+        vma = sys.zygote.mm.find(sys.vpn(sys.zygote, HEAP, 0))
+        sys.kernel.munmap(sys.zygote, vma)
+        with pytest.raises(SegmentationFault):
+            sys.kernel.handle_fault(sys.zygote,
+                                    sys.vpn(sys.zygote, HEAP, 0))
+
+    def test_file_pages_stay_cached(self, mini_baseline):
+        sys = mini_baseline
+        pte = sys.touch(sys.zygote, MMAP, 0)
+        ppn = pte.ppn
+        vma = sys.zygote.mm.find(sys.vpn(sys.zygote, MMAP, 0))
+        sys.kernel.munmap(sys.zygote, vma)
+        # Page cache still references the frame.
+        assert sys.kernel.allocator.refcount(ppn) >= 1
+        assert sys.kernel.page_cache.lookup(sys.data, 0) == ppn
+
+    def test_sparse_vma_munmap(self, mini_baseline):
+        """Only a few pages of a large VMA are populated."""
+        sys = mini_baseline
+        for off in (0, 700, 1900):
+            sys.touch(sys.zygote, HEAP, off, write=True)
+        vma = sys.zygote.mm.find(sys.vpn(sys.zygote, HEAP, 0))
+        before = sys.kernel.allocator.count(FrameKind.DATA)
+        sys.kernel.munmap(sys.zygote, vma)
+        assert sys.kernel.allocator.count(FrameKind.DATA) == before - 3
+
+
+class TestSharedMunmap:
+    def test_detach_leaves_sharers_intact(self, mini_babelfish):
+        sys = mini_babelfish
+        sys.touch(sys.zygote, MMAP, 0)
+        a, b = sys.fork("a"), sys.fork("b")
+        vpn = sys.vpn(a, MMAP, 0)
+        shared_table = a.tables.walk(vpn)[-1][1]
+        sharers_before = shared_table.sharers
+        vma = a.mm.find(vpn)
+        sys.kernel.munmap(a, vma)
+        assert shared_table.sharers == sharers_before - 1
+        # b still resolves the page.
+        pte = b.tables.lookup_pte(vpn)
+        assert pte is not None and pte.present
+        # a no longer does.
+        assert a.tables.lookup_pte(vpn) is None
+
+    def test_last_detach_frees_shared_table(self, mini_babelfish):
+        sys = mini_babelfish
+        sys.touch(sys.zygote, MMAP, 0)
+        a = sys.fork("a")
+        vpn = sys.vpn(a, MMAP, 0)
+        procs = [sys.zygote, a]
+        for proc in procs:
+            vma = proc.mm.find(proc.vpn_group(MMAP, 0))
+            sys.kernel.munmap(proc, vma)
+        # The registry entry is gone with the table.
+        assert not sys.policy.registry or all(
+            key[2] != vpn >> 9 for key in sys.policy.registry)
+
+    def test_partial_shared_coverage_privatizes(self, mini_babelfish):
+        """Unmapping a sub-range of a shared table privatizes rather than
+        yanking translations from the other sharers."""
+        sys = mini_babelfish
+        sys.touch(sys.zygote, MMAP, 0)
+        sys.touch(sys.zygote, MMAP, 1)
+        a, b = sys.fork("a"), sys.fork("b")
+        vpn0 = sys.vpn(a, MMAP, 0)
+        # Replace a's one VMA with a smaller one, then unmap it.
+        big = a.mm.find(vpn0)
+        a.mm.remove(big)
+        from repro.kernel.vma import VMA
+        small = a.mm.add(VMA(vpn0, 1, big.segment, big.kind, big.file,
+                             big.file_offset, big.writable, big.executable,
+                             name="small"))
+        sys.kernel.munmap(a, small)
+        # b keeps both pages.
+        assert b.tables.lookup_pte(vpn0) is not None
+        assert b.tables.lookup_pte(vpn0 + 1) is not None
+        # a lost page 0.
+        assert a.tables.lookup_pte(vpn0) is None

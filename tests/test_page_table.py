@@ -1,0 +1,151 @@
+"""Tests for the x86-64 four-level page tables."""
+
+import pytest
+
+from repro.hw.types import PageSize
+from repro.kernel.frames import FrameAllocator
+from repro.kernel.page_table import (
+    AddressSpaceTables,
+    PGD,
+    PMD,
+    PTE,
+    PTE_LEVEL,
+    PUD,
+    PageTable,
+    TableRef,
+    pte_table_id,
+    region_id,
+    table_index,
+)
+
+
+@pytest.fixture
+def tables():
+    return AddressSpaceTables(FrameAllocator())
+
+
+class TestIndexing:
+    def test_table_index_slices(self):
+        vpn = (3 << 27) | (5 << 18) | (7 << 9) | 11
+        assert table_index(vpn, PGD) == 3
+        assert table_index(vpn, PUD) == 5
+        assert table_index(vpn, PMD) == 7
+        assert table_index(vpn, PTE_LEVEL) == 11
+
+    def test_index_bounded(self):
+        vpn = (1 << 36) - 1
+        for level in (PGD, PUD, PMD, PTE_LEVEL):
+            assert 0 <= table_index(vpn, level) < 512
+
+    def test_region_and_table_ids(self):
+        vpn = 0x40000 + 513
+        assert region_id(vpn) == vpn >> 18
+        assert pte_table_id(vpn) == vpn >> 9
+
+
+class TestAddressSpaceTables:
+    def test_cr3_is_pgd_frame(self, tables):
+        assert tables.cr3 == tables.pgd.frame * 4096
+
+    def test_empty_walk_stops_at_pgd(self, tables):
+        path = tables.walk(0x1234)
+        assert len(path) == 1
+        assert path[0][0] == PGD
+        assert path[0][3] is None
+
+    def test_set_leaf_creates_path(self, tables):
+        vpn = (1 << 27) | (2 << 18) | (3 << 9) | 4
+        tables.set_leaf(vpn, PTE(0x55))
+        path = tables.walk(vpn)
+        assert len(path) == 4
+        assert isinstance(path[-1][3], PTE)
+        assert path[-1][3].ppn == 0x55
+
+    def test_lookup_pte(self, tables):
+        tables.set_leaf(0x77, PTE(0x99))
+        assert tables.lookup_pte(0x77).ppn == 0x99
+        assert tables.lookup_pte(0x78) is None
+
+    def test_each_table_has_unique_frame(self, tables):
+        tables.set_leaf(0, PTE(1))
+        tables.set_leaf(1 << 27, PTE(2))
+        frames = [t.frame for t in tables.iter_tables()]
+        assert len(frames) == len(set(frames))
+
+    def test_tables_allocated_counter(self, tables):
+        before = tables.tables_allocated
+        tables.set_leaf(0x123, PTE(1))
+        # PUD + PMD + PTE tables created.
+        assert tables.tables_allocated == before + 3
+
+    def test_sibling_pages_share_tables(self, tables):
+        tables.set_leaf(0x100, PTE(1))
+        before = tables.tables_allocated
+        tables.set_leaf(0x101, PTE(2))
+        assert tables.tables_allocated == before
+
+    def test_huge_leaf_at_pmd(self, tables):
+        vpn = 512 * 7
+        tables.set_leaf(vpn, PTE(0x1000, page_size=PageSize.SIZE_2M),
+                        leaf_level=PMD)
+        path = tables.walk(vpn + 5)
+        assert path[-1][0] == PMD
+        assert isinstance(path[-1][3], PTE)
+
+    def test_mixing_huge_and_4k_rejected(self, tables):
+        vpn = 512 * 7
+        tables.set_leaf(vpn, PTE(0x1000, page_size=PageSize.SIZE_2M),
+                        leaf_level=PMD)
+        with pytest.raises(ValueError):
+            tables.ensure_path(vpn + 1, PTE_LEVEL)
+
+    def test_iter_leaves_roundtrip(self, tables):
+        vpns = [5, 513, (1 << 18) + 7, (1 << 27) + 9]
+        for i, vpn in enumerate(vpns):
+            tables.set_leaf(vpn, PTE(i + 1))
+        leaves = {vpn: pte.ppn for vpn, _l, _t, _i, pte in tables.iter_leaves()}
+        assert leaves == {vpn: i + 1 for i, vpn in enumerate(vpns)}
+
+    def test_table_provider_used(self, tables):
+        shared = PageTable(PTE_LEVEL, FrameAllocator().alloc())
+        shared.entries[5] = PTE(0xABC)
+
+        def provider(level, vpn):
+            if level == PTE_LEVEL:
+                shared.sharers += 1
+                return shared
+            return None
+
+        table, index, _alloc = tables.ensure_path(5, table_provider=provider)
+        assert table is shared
+        assert shared.sharers == 2
+        assert isinstance(table.entries[index], PTE)
+
+    def test_entry_paddr(self):
+        table = PageTable(PTE_LEVEL, 0x10)
+        assert table.entry_paddr(3) == 0x10 * 4096 + 24
+
+    def test_count_table_pages(self, tables):
+        tables.set_leaf(0, PTE(1))
+        assert tables.count_table_pages() == 4  # PGD..PTE
+
+
+class TestPTE:
+    def test_clone_preserves_fields(self):
+        pte = PTE(0x42, writable=False, cow=True, executable=True)
+        pte.dirty = True
+        clone = pte.clone()
+        assert clone.ppn == 0x42
+        assert clone.cow and not clone.writable and clone.executable
+        assert clone.dirty
+
+    def test_perm_key_equality(self):
+        a = PTE(1, writable=True)
+        b = PTE(2, writable=True)
+        c = PTE(3, writable=False)
+        assert a.perm_key() == b.perm_key()
+        assert a.perm_key() != c.perm_key()
+
+    def test_tableref_bits(self):
+        ref = TableRef(PageTable(PTE_LEVEL, 1), o_bit=True, orpc=False)
+        assert ref.o_bit and not ref.orpc

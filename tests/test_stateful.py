@@ -1,0 +1,187 @@
+"""Stateful property testing: random fork/read/write/exit sequences.
+
+A hypothesis RuleBasedStateMachine drives a BabelFish kernel and a
+conventional baseline kernel through the *same* random operation
+sequence, tracking a logical-content model on the side:
+
+- every write to an anonymous page stamps a unique token for the writing
+  process; forked children inherit the parent's tokens (CoW semantics);
+- shared-file pages carry one token for everybody.
+
+After every step both kernels must satisfy, for every pair of live
+processes and every page:
+
+- **isolation**: different tokens => different physical frames;
+- **shared-file unity**: all mappers of a shared file page see one frame;
+- the full kernel audit (sharer counts, refcounts, registry, CCID
+  confinement) stays clean.
+"""
+
+import itertools
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.kernel.audit import audit_kernel
+from repro.kernel.vma import SegmentKind
+
+from conftest import MiniSystem
+
+HEAP, MMAP = SegmentKind.HEAP, SegmentKind.MMAP
+
+PAGES = st.integers(0, 11)
+MAX_PROCS = 6
+
+
+class SharingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tokens = itertools.count(1)
+
+    @initialize()
+    def setup(self):
+        self.systems = {"baseline": MiniSystem(babelfish=False),
+                        "babelfish": MiniSystem(babelfish=True)}
+        # procs[name] = {label: process}; the zygote is label 0.
+        self.procs = {name: {0: sys.zygote}
+                      for name, sys in self.systems.items()}
+        self.next_label = 1
+        #: anon content model: {label: {page: token}}; absent = zero page.
+        self.anon = {0: {}}
+        #: shared-file content model: {page: token}.
+        self.shared = {}
+        self.parent_of = {0: None}
+
+    # -- operations --------------------------------------------------------
+
+    @precondition(lambda self: self.next_label < MAX_PROCS)
+    @rule(parent=st.integers(0, MAX_PROCS - 1))
+    def fork(self, parent):
+        labels = [l for l in self.anon if l <= parent] or [0]
+        parent = max(labels)
+        label = self.next_label
+        self.next_label += 1
+        for name, sys in self.systems.items():
+            parent_proc = self.procs[name][parent]
+            child, _ = sys.kernel.fork(parent_proc, name="p%d" % label)
+            sys.group.add(child)
+            self.procs[name][label] = child
+        self.anon[label] = dict(self.anon[parent])
+        self.parent_of[label] = parent
+
+    @rule(label=st.integers(0, MAX_PROCS - 1), page=PAGES)
+    def write_anon(self, label, page):
+        label = self._live_label(label)
+        token = next(self.tokens)
+        for name in self.systems:
+            sys = self.systems[name]
+            proc = self.procs[name][label]
+            sys.touch(proc, HEAP, page, write=True)
+        self.anon[label][page] = token
+
+    @rule(label=st.integers(0, MAX_PROCS - 1), page=PAGES)
+    def read_anon(self, label, page):
+        label = self._live_label(label)
+        for name in self.systems:
+            sys = self.systems[name]
+            sys.touch(self.procs[name][label], HEAP, page)
+        self.anon[label].setdefault(page, 0)  # observed the zero page
+
+    @rule(label=st.integers(0, MAX_PROCS - 1), page=PAGES)
+    def write_shared(self, label, page):
+        label = self._live_label(label)
+        token = next(self.tokens)
+        for name in self.systems:
+            sys = self.systems[name]
+            sys.touch(self.procs[name][label], MMAP, page, write=True)
+        self.shared[page] = token
+
+    @rule(label=st.integers(0, MAX_PROCS - 1), page=PAGES)
+    def read_shared(self, label, page):
+        label = self._live_label(label)
+        for name in self.systems:
+            sys = self.systems[name]
+            sys.touch(self.procs[name][label], MMAP, page)
+
+    @precondition(lambda self: len(getattr(self, "anon", {})) > 1)
+    @rule(label=st.integers(1, MAX_PROCS - 1))
+    def exit_proc(self, label):
+        live = [l for l in self.anon if l != 0]
+        if not live:
+            return
+        label = min(live, key=lambda l: abs(l - label))
+        for name in self.systems:
+            sys = self.systems[name]
+            proc = self.procs[name].pop(label)
+            sys.group.remove(proc)
+            sys.kernel.exit_process(proc)
+        del self.anon[label]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _live_label(self, label):
+        live = sorted(self.anon)
+        return min(live, key=lambda l: abs(l - label))
+
+    def _frame(self, name, label, segment, page):
+        sys = self.systems[name]
+        proc = self.procs[name][label]
+        pte = proc.tables.lookup_pte(proc.vpn_group(segment, page))
+        if pte is None or not pte.present:
+            return None
+        return pte.ppn
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def audits_clean(self):
+        if not hasattr(self, "systems"):
+            return
+        for sys in self.systems.values():
+            audit_kernel(sys.kernel)
+
+    @invariant()
+    def isolation_holds(self):
+        if not hasattr(self, "systems"):
+            return
+        labels = sorted(self.anon)
+        for name in self.systems:
+            for i, a in enumerate(labels):
+                for b in labels[i + 1:]:
+                    for page in set(self.anon[a]) | set(self.anon[b]):
+                        ta = self.anon[a].get(page)
+                        tb = self.anon[b].get(page)
+                        if ta is None or tb is None or ta == tb:
+                            continue
+                        fa = self._frame(name, a, HEAP, page)
+                        fb = self._frame(name, b, HEAP, page)
+                        if fa is not None and fb is not None:
+                            assert fa != fb, (
+                                "%s: procs %d/%d share frame %#x at heap "
+                                "page %d despite divergent writes"
+                                % (name, a, b, fa, page))
+
+    @invariant()
+    def shared_file_unity(self):
+        if not hasattr(self, "systems"):
+            return
+        for name in self.systems:
+            for page in self.shared:
+                frames = {self._frame(name, label, MMAP, page)
+                          for label in self.anon}
+                frames.discard(None)
+                assert len(frames) <= 1, (
+                    "%s: shared page %d maps to frames %s"
+                    % (name, page, frames))
+
+
+SharingMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None)
+TestSharingMachine = SharingMachine.TestCase

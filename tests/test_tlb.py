@@ -1,0 +1,153 @@
+"""Unit tests for the generic TLB structures (Figure 1/3 substrate)."""
+
+import pytest
+
+from repro.hw.params import TLBParams
+from repro.hw.tlb import MultiSizeTLB, SetAssocTLB, TLBEntry, conventional_match
+from repro.hw.types import PageSize
+
+
+def small_tlb(entries=8, ways=2, size=PageSize.SIZE_4K):
+    return SetAssocTLB(TLBParams("t", entries, ways, size, 1))
+
+
+def entry(vpn, ppn=0x100, pcid=1, **kw):
+    return TLBEntry(vpn, ppn, pcid=pcid, **kw)
+
+
+class TestSetAssocTLB:
+    def test_insert_lookup(self):
+        tlb = small_tlb()
+        tlb.insert(entry(0x10))
+        found = tlb.lookup(0x10, lambda e: True)
+        assert found is not None
+        assert found.ppn == 0x100
+
+    def test_lookup_miss_counted(self):
+        tlb = small_tlb()
+        assert tlb.lookup(0x10, lambda e: True) is None
+        assert tlb.misses == 1
+
+    def test_pcid_mismatch_misses(self):
+        tlb = small_tlb()
+        tlb.insert(entry(0x10, pcid=1))
+        assert tlb.lookup(0x10, lambda e: e.pcid == 2) is None
+
+    def test_two_entries_same_vpn_different_pcid(self):
+        """Conventional TLBs replicate translations per process (the
+        problem the paper attacks)."""
+        tlb = small_tlb()
+        tlb.insert(entry(0x10, pcid=1))
+        tlb.insert(entry(0x10, pcid=2))
+        assert tlb.lookup(0x10, lambda e: e.pcid == 1) is not None
+        assert tlb.lookup(0x10, lambda e: e.pcid == 2) is not None
+        assert tlb.occupancy == 2
+
+    def test_lru_eviction(self):
+        tlb = small_tlb(entries=4, ways=2)  # 2 sets
+        sets = tlb.num_sets
+        tlb.insert(entry(0))
+        tlb.insert(entry(sets))
+        tlb.lookup(0, lambda e: True)
+        tlb.insert(entry(2 * sets))  # evicts vpn=sets
+        assert tlb.lookup(0, lambda e: True) is not None
+        assert tlb.lookup(sets, lambda e: True) is None
+
+    def test_insert_replace_in_place(self):
+        tlb = small_tlb()
+        tlb.insert(entry(0x10, ppn=0xAAA, pcid=3))
+        tlb.insert(entry(0x10, ppn=0xBBB, pcid=3),
+                   replace=lambda old: old.pcid == 3)
+        assert tlb.occupancy == 1
+        assert tlb.lookup(0x10, lambda e: True).ppn == 0xBBB
+
+    def test_replace_only_matching(self):
+        tlb = small_tlb()
+        tlb.insert(entry(0x10, pcid=3))
+        tlb.insert(entry(0x10, pcid=4), replace=lambda old: old.pcid == 4)
+        assert tlb.occupancy == 2
+
+    def test_invalidate_by_pred(self):
+        tlb = small_tlb()
+        tlb.insert(entry(0x10, pcid=1))
+        tlb.insert(entry(0x10, pcid=2))
+        removed = tlb.invalidate(0x10, lambda e: e.pcid == 1)
+        assert removed == 1
+        assert tlb.lookup(0x10, lambda e: e.pcid == 2) is not None
+
+    def test_flush_by_pred(self):
+        tlb = small_tlb()
+        tlb.insert(entry(1, pcid=1))
+        tlb.insert(entry(2, pcid=2))
+        assert tlb.flush(lambda e: e.pcid == 1) == 1
+        assert tlb.occupancy == 1
+
+    def test_flush_all(self):
+        tlb = small_tlb()
+        for vpn in range(4):
+            tlb.insert(entry(vpn))
+        tlb.flush()
+        assert tlb.occupancy == 0
+
+    def test_occupancy_bounded(self):
+        tlb = small_tlb(entries=8, ways=2)
+        for vpn in range(100):
+            tlb.insert(entry(vpn))
+        assert tlb.occupancy <= 8
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocTLB(TLBParams("bad", 12, 2, PageSize.SIZE_4K, 1))
+
+    def test_conventional_match(self):
+        e = entry(0x10, pcid=7)
+        assert conventional_match(e, 0x10, 7)
+        assert not conventional_match(e, 0x10, 8)
+        assert not conventional_match(e, 0x11, 7)
+
+
+class TestMultiSizeTLB:
+    def make(self):
+        return MultiSizeTLB([
+            TLBParams("4k", 8, 2, PageSize.SIZE_4K, 1),
+            TLBParams("2m", 4, 2, PageSize.SIZE_2M, 1),
+        ])
+
+    def test_4k_lookup(self):
+        multi = self.make()
+        multi.insert(TLBEntry(0x10, 0x100, PageSize.SIZE_4K, pcid=1))
+        found, size = multi.lookup(0x10, lambda e: True)
+        assert found is not None
+        assert size is PageSize.SIZE_4K
+
+    def test_2m_lookup_by_4k_vpn(self):
+        multi = self.make()
+        # A 2MB page at 2M-VPN 3 covers 4K-VPNs [3*512, 4*512).
+        multi.insert(TLBEntry(3, 0x100, PageSize.SIZE_2M, pcid=1))
+        found, size = multi.lookup(3 * 512 + 17, lambda e: True)
+        assert found is not None
+        assert size is PageSize.SIZE_2M
+
+    def test_miss_returns_none(self):
+        multi = self.make()
+        found, size = multi.lookup(0x999, lambda e: True)
+        assert found is None and size is None
+
+    def test_invalidate_covers_all_sizes(self):
+        multi = self.make()
+        multi.insert(TLBEntry(3, 0x100, PageSize.SIZE_2M, pcid=1))
+        removed = multi.invalidate(3 * 512 + 5)
+        assert removed == 1
+
+    def test_entries_iteration(self):
+        multi = self.make()
+        multi.insert(TLBEntry(1, 1, PageSize.SIZE_4K, pcid=1))
+        multi.insert(TLBEntry(2, 2, PageSize.SIZE_2M, pcid=1))
+        assert len(list(multi.entries())) == 2
+
+    def test_size_restricted_lookup(self):
+        multi = self.make()
+        multi.insert(TLBEntry(0x10, 0x100, PageSize.SIZE_4K, pcid=1))
+        found, _ = multi.lookup(0x10, lambda e: True,
+                                page_size=PageSize.SIZE_2M)
+        assert found is None

@@ -1,0 +1,78 @@
+"""Tests for trace serialization and replay equivalence."""
+
+import pytest
+
+from repro.hw.params import baseline_machine
+from repro.kernel.vma import SegmentKind
+from repro.sim.config import baseline_config
+from repro.sim.simulator import Simulator
+from repro.workloads.dataserving import serving_trace
+from repro.workloads.profiles import APP_PROFILES
+from repro.workloads.tracefile import load_trace, save_trace, trace_stats
+
+from conftest import MiniSystem
+
+
+def sample_records(requests=5):
+    profile = APP_PROFILES["httpd"]
+    return list(serving_trace(profile, 1, requests=requests))
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        records = sample_records()
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(records, path)
+        assert count == len(records)
+        assert list(load_trace(path)) == records
+
+    def test_bad_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[7, "heap", 0, 0, 1, null]\n')
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+
+    def test_bad_segment_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1, "nosuch", 0, 0, 1, null]\n')
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n[1, "heap", 3, 0, 1, null]\n\n')
+        records = list(load_trace(path))
+        assert len(records) == 1
+        assert records[0][1] is SegmentKind.HEAP
+
+
+class TestReplayEquivalence:
+    def test_replayed_trace_gives_identical_run(self, tmp_path):
+        records = [(1, SegmentKind.MMAP, i % 32, i % 64, 10, i)
+                   for i in range(200)]
+        path = tmp_path / "trace.jsonl"
+        save_trace(records, path)
+
+        def run(trace):
+            sys = MiniSystem(babelfish=False)
+            sim = Simulator(baseline_machine(cores=1), baseline_config(),
+                            sys.kernel)
+            child = sys.fork()
+            sim.attach(child, trace, 0)
+            return sim.run()
+
+        live = run(iter(records))
+        replayed = run(load_trace(path))
+        assert live.total_cycles == replayed.total_cycles
+        assert live.stats.l2_misses == replayed.stats.l2_misses
+
+
+class TestStats:
+    def test_trace_stats(self):
+        records = sample_records(requests=10)
+        stats = trace_stats(records)
+        assert stats["records"] == len(records)
+        assert stats["instructions"] > stats["records"]
+        assert stats["requests"] == 10
+        assert stats["footprint_pages"] > 0
+        assert sum(stats["by_kind"].values()) == stats["records"]

@@ -1,0 +1,139 @@
+"""Deep tests for the page walker: PWC behaviour, 1GB pages, and cache
+interactions (Figure 7's mechanics)."""
+
+from repro.hw.cache import CacheHierarchy
+from repro.hw.dram import DRAMModel
+from repro.hw.params import baseline_machine
+from repro.hw.pwc import PageWalkCache
+from repro.hw.types import AccessKind, PageSize
+from repro.kernel.frames import FrameAllocator
+from repro.kernel.page_table import PTE, PUD
+from repro.kernel.vma import SegmentKind
+from repro.sim.config import baseline_config
+from repro.sim.mmu import MMU
+from repro.sim.walker import PageWalker
+
+from conftest import MiniSystem
+
+MMAP = SegmentKind.MMAP
+
+
+def walker_setup(cores=1):
+    machine = baseline_machine(cores=cores)
+    hierarchy = CacheHierarchy(machine, DRAMModel(machine.dram))
+    pwc = PageWalkCache(machine.mmu.pwc)
+    return machine, hierarchy, pwc, PageWalker(0, hierarchy, pwc)
+
+
+class TestPWCBehaviour:
+    def test_pwc_caches_upper_levels_not_leaf(self):
+        sys = MiniSystem(babelfish=False)
+        for off in (0, 1):
+            sys.touch(sys.zygote, MMAP, off)
+        _machine, _hier, pwc, walker = walker_setup()
+        vpn = sys.vpn(sys.zygote, MMAP, 0)
+        walker.walk(sys.zygote, vpn)
+        assert pwc.occupancy(4) == 1
+        assert pwc.occupancy(3) == 1
+        assert pwc.occupancy(2) == 1
+        # The leaf pte level is what the TLB caches, not the PWC.
+        hits_before = pwc.hits
+        walker.walk(sys.zygote, vpn + 1)
+        assert pwc.hits == hits_before + 3  # PGD/PUD/PMD hits only
+
+    def test_cross_region_walk_misses_pwc(self):
+        sys = MiniSystem(babelfish=False)
+        sys.touch(sys.zygote, MMAP, 0)
+        sys.touch(sys.zygote, SegmentKind.HEAP, 0, write=True)
+        _machine, _hier, pwc, walker = walker_setup()
+        walker.walk(sys.zygote, sys.vpn(sys.zygote, MMAP, 0))
+        misses_before = pwc.misses
+        walker.walk(sys.zygote, sys.vpn(sys.zygote, SegmentKind.HEAP, 0))
+        # Different segment => different PUD/PMD entries: only the PGD
+        # entry may hit (different index here, so all three miss).
+        assert pwc.misses > misses_before
+
+    def test_shared_tables_share_walk_lines_across_cores(self):
+        """Figure 7: container B's walk hits the L3 lines container A's
+        walk brought in — because the tables are physically shared."""
+        sys = MiniSystem(babelfish=True)
+        sys.touch(sys.zygote, MMAP, 0)
+        a, b = sys.fork("a"), sys.fork("b")
+        machine = baseline_machine(cores=2)
+        hierarchy = CacheHierarchy(machine, DRAMModel(machine.dram))
+        walker_a = PageWalker(0, hierarchy, PageWalkCache(machine.mmu.pwc))
+        walker_b = PageWalker(1, hierarchy, PageWalkCache(machine.mmu.pwc))
+        vpn = sys.vpn(sys.zygote, MMAP, 0)
+        cost_a = walker_a.walk(a, vpn).cycles
+        cost_b = walker_b.walk(b, vpn).cycles
+        # B misses its own PWC/L2 but hits the shared L3 for the PTE line.
+        assert cost_b < cost_a
+
+    def test_private_tables_do_not_share_walk_lines(self):
+        sys = MiniSystem(babelfish=False)
+        sys.touch(sys.zygote, MMAP, 0)
+        a, b = sys.fork("a"), sys.fork("b")
+        machine = baseline_machine(cores=2)
+        hierarchy = CacheHierarchy(machine, DRAMModel(machine.dram))
+        walker_a = PageWalker(0, hierarchy, PageWalkCache(machine.mmu.pwc))
+        walker_b = PageWalker(1, hierarchy, PageWalkCache(machine.mmu.pwc))
+        vpn = sys.vpn(sys.zygote, MMAP, 0)
+        cost_a = walker_a.walk(a, vpn).cycles
+        cost_b = walker_b.walk(b, vpn).cycles
+        # Different physical pte lines: B pays like A did.
+        assert cost_b >= cost_a * 0.8
+
+
+class Test1GBPages:
+    def build_1g(self):
+        """Install a 1GB leaf directly at the PUD level (no kernel path
+        creates these; the hardware plumbing must still translate them)."""
+        sys = MiniSystem(babelfish=False)
+        allocator = sys.kernel.allocator
+        base_vpn = sys.vpn(sys.zygote, MMAP, 0) & ~((1 << 18) - 1)
+        ppn = allocator.alloc(pages=1)  # stands in for a 1GB frame
+        pte = PTE(ppn, page_size=PageSize.SIZE_1G)
+        sys.zygote.tables.set_leaf(base_vpn, pte, leaf_level=PUD)
+        return sys, base_vpn, pte
+
+    def test_walk_finds_1g_leaf(self):
+        sys, base_vpn, pte = self.build_1g()
+        _machine, _hier, _pwc, walker = walker_setup()
+        result = walker.walk(sys.zygote, base_vpn + 12345)
+        assert not result.fault
+        assert result.pte is pte
+        assert result.page_size is PageSize.SIZE_1G
+        assert result.leaf_level == PUD
+
+    def test_1g_tlb_structures_exist(self):
+        machine = baseline_machine()
+        assert machine.mmu.l1d_1g.entries == 4
+        assert machine.mmu.l2_1g.entries == 16
+
+    def test_multisize_1g_lookup(self):
+        from repro.hw.params import TLBParams
+        from repro.hw.tlb import MultiSizeTLB, TLBEntry
+        multi = MultiSizeTLB([TLBParams("1g", 4, 4, PageSize.SIZE_1G, 1)])
+        multi.insert(TLBEntry(2, 0x1000, PageSize.SIZE_1G, pcid=1))
+        vpn4k = (2 << 18) + 98765
+        found, size = multi.lookup(vpn4k, lambda e: True)
+        assert found is not None and size is PageSize.SIZE_1G
+
+
+class TestWalkAccounting:
+    def test_walk_counts_and_cycles(self):
+        sys = MiniSystem(babelfish=False)
+        sys.touch(sys.zygote, MMAP, 0)
+        _machine, _hier, _pwc, walker = walker_setup()
+        walker.walk(sys.zygote, sys.vpn(sys.zygote, MMAP, 0))
+        walker.walk(sys.zygote, sys.vpn(sys.zygote, MMAP, 0))
+        assert walker.walks == 2
+        assert walker.total_cycles > 0
+
+    def test_fault_level_reported(self):
+        sys = MiniSystem(babelfish=False)
+        _machine, _hier, _pwc, walker = walker_setup()
+        result = walker.walk(sys.zygote, sys.vpn(sys.zygote, MMAP, 7))
+        assert result.fault
+        assert result.pte is None
+        assert result.leaf_level == 4  # nothing mapped: stops at PGD
