@@ -1,0 +1,34 @@
+"""Repo-aware static analysis and runtime sanitizers.
+
+Two halves, both specific to this codebase's correctness model:
+
+- :mod:`repro.analysis.lint` — an AST-visitor lint engine with rules that
+  machine-enforce the repository's contracts: layering (``hw/`` never
+  imports ``kernel/`` or ``sim/``), determinism (no unseeded RNGs or
+  wall-clock reads in simulation paths), and cycle integrity (cycle
+  counters stay integral; no bare ``assert`` in shipped code).
+  Run it as ``python -m repro.analysis``.
+
+- :mod:`repro.analysis.sanitizer` — a runtime translation-coherence
+  sanitizer: a shadow MMU that cross-checks every TLB fill, hit, and
+  invalidation against an independent architectural walk of the kernel
+  page tables. Enable with ``SimConfig(sanitize=True)``.
+
+Findings from either half use the structured types in
+:mod:`repro.analysis.findings`.
+"""
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.sanitizer import (
+    CoherenceError,
+    CoherenceViolation,
+    TranslationSanitizer,
+)
+
+__all__ = [
+    "CoherenceError",
+    "CoherenceViolation",
+    "Finding",
+    "Severity",
+    "TranslationSanitizer",
+]

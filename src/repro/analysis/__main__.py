@@ -1,0 +1,66 @@
+"""``python -m repro.analysis``: lint the repository.
+
+Exits nonzero when findings remain. With no paths, lints the ``repro``
+package the module was imported from plus a sibling ``tests/`` directory
+when present, so a bare invocation covers the whole repo.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis.lint.engine import LintEngine
+from repro.analysis.lint.rules import rule_catalog
+
+
+def default_paths():
+    import repro
+    package = pathlib.Path(repro.__file__).resolve().parent
+    paths = [package]
+    tests = package.parent.parent / "tests"
+    if tests.is_dir():
+        paths.append(tests)
+    return paths
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-aware lint: layering, determinism, and "
+                    "cycle-integrity contracts.")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories (default: the repro "
+                             "package and tests/)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, description in rule_catalog():
+            print("%s  %s" % (rule_id, description))
+        return 0
+
+    paths = args.paths or default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print("error: no such file or directory: %s" % p,
+                  file=sys.stderr)
+        return 2
+    findings = LintEngine().lint_paths(paths)
+    if args.format == "json":
+        print(json.dumps({"count": len(findings),
+                          "findings": [f.as_dict() for f in findings]},
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        print("%d finding%s" % (len(findings),
+                                "" if len(findings) == 1 else "s"))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

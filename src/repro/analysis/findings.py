@@ -1,0 +1,36 @@
+"""Structured findings shared by the lint engine and the CLI."""
+
+import dataclasses
+import enum
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+
+    def format(self):
+        return "%s:%d: %s %s: %s" % (
+            self.path, self.line, self.severity, self.rule_id, self.message)
+
+    def as_dict(self):
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }

@@ -1,0 +1,5 @@
+"""Repo-aware lint: AST-visitor engine plus the rule packages."""
+
+from repro.analysis.lint.engine import LintContext, LintEngine, LintRule, ModuleInfo
+
+__all__ = ["LintContext", "LintEngine", "LintRule", "ModuleInfo"]

@@ -1,0 +1,171 @@
+"""The lint engine: one AST pass, pluggable visitor rules, suppression.
+
+A rule subclasses :class:`LintRule` and defines ``visit_<NodeType>``
+methods (same naming as :class:`ast.NodeVisitor`). The engine parses each
+module once and dispatches every node to every interested rule, so adding
+rules does not add parse passes. Rules report through
+:meth:`LintContext.report`; the engine drops findings whose line carries a
+matching suppression comment::
+
+    cycles = estimate / 2  # bfa: disable=BF301 -- justification here
+
+``# bfa: disable`` with no rule list suppresses every rule on that line.
+Suppressions are per-line by design: a waiver should sit next to the code
+it excuses, with its justification after ``--``.
+"""
+
+import ast
+import pathlib
+import re
+
+from repro.analysis.findings import Finding, Severity
+
+#: Per-line suppression: ``# bfa: disable=BF101,BF203 -- why`` or
+#: ``# bfa: disable -- why``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*bfa:\s*disable(?:=(?P<rules>[A-Z0-9, ]+))?")
+
+#: Packages that make up the simulated machine: code here runs inside the
+#: simulation's notion of time and must stay deterministic and integral.
+SIM_PACKAGES = frozenset(
+    {"hw", "core", "kernel", "sim", "workloads", "containers"})
+
+
+class ModuleInfo:
+    """What rules know about the module under analysis."""
+
+    def __init__(self, path, package=None, is_test=None):
+        self.path = str(path)
+        parts = pathlib.PurePath(self.path).parts
+        if package is None:
+            package = ""
+            if "repro" in parts:
+                after = parts[parts.index("repro") + 1:]
+                # repro/<pkg>/mod.py -> <pkg>; repro/mod.py -> "" (top level)
+                package = after[0] if len(after) > 1 else ""
+        self.package = package
+        name = parts[-1] if parts else self.path
+        if is_test is None:
+            is_test = ("tests" in parts or name.startswith("test_")
+                       or name == "conftest.py")
+        self.is_test = is_test
+
+    @property
+    def in_sim_path(self):
+        return self.package in SIM_PACKAGES
+
+
+class LintContext:
+    """Handed to rules: module info plus the ``report`` sink."""
+
+    def __init__(self, module, sink):
+        self.module = module
+        self._sink = sink
+        self._rule = None  # set by the engine around each dispatch
+
+    def report(self, node, message, rule=None):
+        rule = rule or self._rule
+        self._sink(Finding(rule.rule_id, rule.severity, self.module.path,
+                           getattr(node, "lineno", 0), message))
+
+
+class LintRule:
+    """Base class for rules. Subclasses set ``rule_id``/``description`` and
+    define ``visit_<NodeType>`` methods; ``begin_module`` resets any
+    per-module state."""
+
+    rule_id = None
+    severity = Severity.ERROR
+    description = ""
+
+    def applies_to(self, module):
+        """Whether this rule runs on ``module`` at all."""
+        return not module.is_test
+
+    def begin_module(self, module):
+        pass
+
+
+def _parse_suppressions(source):
+    """Map line number -> set of suppressed rule ids (empty set = all)."""
+    suppressed = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressed[lineno] = set()
+        else:
+            suppressed[lineno] = {r.strip() for r in rules.split(",")
+                                  if r.strip()}
+    return suppressed
+
+
+class LintEngine:
+    def __init__(self, rules=None):
+        if rules is None:
+            from repro.analysis.lint.rules import all_rules
+            rules = all_rules()
+        self.rules = list(rules)
+
+    # -- single module -----------------------------------------------------
+
+    def lint_source(self, source, path="<string>", package=None, is_test=None):
+        """Lint one module's source text; returns a list of findings."""
+        module = ModuleInfo(path, package=package, is_test=is_test)
+        try:
+            tree = ast.parse(source, filename=module.path)
+        except SyntaxError as exc:
+            return [Finding("BF000", Severity.ERROR, module.path,
+                            exc.lineno or 0, "syntax error: %s" % exc.msg)]
+        findings = []
+        context = LintContext(module, findings.append)
+        active = []
+        for rule in self.rules:
+            if rule.applies_to(module):
+                rule.begin_module(module)
+                active.append(rule)
+        if active:
+            self._dispatch(tree, active, context)
+        suppressed = _parse_suppressions(source)
+        return [f for f in findings if not self._is_suppressed(f, suppressed)]
+
+    def _dispatch(self, tree, rules, context):
+        # Bind each rule's visitor methods by node-type name once, then
+        # drive a single ast.walk over the module.
+        handlers = {}
+        for rule in rules:
+            for name in dir(rule):
+                if not name.startswith("visit_"):
+                    continue
+                handlers.setdefault(name[len("visit_"):], []).append(
+                    (rule, getattr(rule, name)))
+        for node in ast.walk(tree):
+            for rule, handler in handlers.get(type(node).__name__, ()):
+                context._rule = rule
+                handler(node, context)
+        context._rule = None
+
+    @staticmethod
+    def _is_suppressed(finding, suppressed):
+        rules = suppressed.get(finding.line)
+        if rules is None:
+            return False
+        return not rules or finding.rule_id in rules
+
+    # -- trees -------------------------------------------------------------
+
+    def lint_file(self, path):
+        path = pathlib.Path(path)
+        return self.lint_source(path.read_text(encoding="utf-8"), str(path))
+
+    def lint_paths(self, paths):
+        """Lint files and/or directory trees; returns sorted findings."""
+        findings = []
+        for path in paths:
+            path = pathlib.Path(path)
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for file in files:
+                findings.extend(self.lint_file(file))
+        return sorted(findings, key=lambda f: (f.path, f.line, f.rule_id))

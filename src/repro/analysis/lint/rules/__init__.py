@@ -1,0 +1,28 @@
+"""Rule registry: every repo-specific rule, instantiated fresh per call."""
+
+from repro.analysis.lint.rules.cycles import BareAssertRule, FloatCyclesRule
+from repro.analysis.lint.rules.determinism import (
+    UnorderedIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.lint.rules.layering import LayeringRule
+
+_RULE_CLASSES = (
+    LayeringRule,
+    UnseededRandomRule,
+    WallClockRule,
+    UnorderedIterationRule,
+    FloatCyclesRule,
+    BareAssertRule,
+)
+
+
+def all_rules():
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rule_catalog():
+    """(rule_id, description) pairs, sorted by id — for ``--list-rules``."""
+    return sorted((cls.rule_id, cls.description) for cls in _RULE_CLASSES)

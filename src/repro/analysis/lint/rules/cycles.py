@@ -1,0 +1,103 @@
+"""BF301/BF302: cycle-integrity contracts.
+
+- BF301: cycle counters are integers. A float sneaking into a ``cycles``
+  variable (true division, a float literal) rounds differently across
+  platforms and silently shifts every downstream number. Use ``//`` or
+  wrap in ``int(...)``/``round(...)``.
+- BF302: no bare ``assert`` in non-test ``src/`` code: ``python -O``
+  strips asserts, so an invariant guarded only by ``assert`` silently
+  stops being checked in optimized runs. Raise a real exception.
+"""
+
+import ast
+
+from repro.analysis.lint.engine import LintRule
+
+#: Calls that launder a float back into an int, ending the search.
+_INT_WRAPPERS = frozenset({"int", "round", "len", "floor", "ceil"})
+
+
+def _float_taint(node):
+    """First sub-node that would make this expression a float, or None.
+
+    Descends the expression tree but stops at calls to int()/round()/…,
+    whose result is integral regardless of what is inside.
+    """
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name in _INT_WRAPPERS:
+            return None
+        for child in list(node.args) + [kw.value for kw in node.keywords]:
+            taint = _float_taint(child)
+            if taint is not None:
+                return taint
+        return None
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return node
+        return _float_taint(node.left) or _float_taint(node.right)
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node
+    if isinstance(node, (ast.IfExp,)):
+        return (_float_taint(node.body) or _float_taint(node.orelse))
+    if isinstance(node, (ast.UnaryOp,)):
+        return _float_taint(node.operand)
+    return None
+
+
+def _is_cycles_name(target):
+    name = None
+    if isinstance(target, ast.Name):
+        name = target.id
+    elif isinstance(target, ast.Attribute):
+        name = target.attr
+    if name is None:
+        return False
+    return name == "cycles" or name.endswith("_cycles")
+
+
+class FloatCyclesRule(LintRule):
+    rule_id = "BF301"
+    description = ("cycle counters must stay integral: no true division "
+                   "or float literals flowing into *cycles variables or "
+                   "*_cycles() returns")
+
+    def applies_to(self, module):
+        return not module.is_test and module.in_sim_path
+
+    def _report(self, node, what, ctx):
+        ctx.report(node, "%s mixes in a float (true division or float "
+                         "literal); cycle counts must stay integers — use "
+                         "// or int(...)" % what)
+
+    def visit_Assign(self, node, ctx):
+        if any(_is_cycles_name(t) for t in node.targets) \
+                and _float_taint(node.value) is not None:
+            self._report(node, "assignment to a cycles counter", ctx)
+
+    def visit_AugAssign(self, node, ctx):
+        if _is_cycles_name(node.target) \
+                and _float_taint(node.value) is not None:
+            self._report(node, "augmented assignment to a cycles counter",
+                         ctx)
+
+    def visit_FunctionDef(self, node, ctx):
+        if not (node.name == "cycles" or node.name.endswith("_cycles")):
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return) and sub.value is not None \
+                    and _float_taint(sub.value) is not None:
+                self._report(sub, "return from %s()" % node.name, ctx)
+
+
+class BareAssertRule(LintRule):
+    rule_id = "BF302"
+    description = ("no bare assert in non-test src/ code (python -O "
+                   "strips it); raise an explicit exception")
+
+    def visit_Assert(self, node, ctx):
+        ctx.report(node, "assert disappears under python -O; raise an "
+                         "explicit exception so the invariant is always "
+                         "enforced")

@@ -1,0 +1,149 @@
+"""BF201/BF202/BF203: determinism contracts for simulation code.
+
+Runs must be bit-for-bit reproducible from their seeds: the paper's
+numbers are diffs between configurations, and any nondeterminism shows up
+as noise indistinguishable from a mechanism effect. Three ways it leaks
+in:
+
+- BF201: drawing from Python's module-level RNG (``random.randrange``,
+  ``random.shuffle``, …) or constructing ``random.Random()`` without a
+  seed. All randomness must come from an explicitly seeded ``Random``.
+- BF202: reading the wall clock (``time.time``, ``datetime.now``, …)
+  inside simulation packages, where the only time is simulated cycles.
+- BF203: iterating a set (or set-operation result) in simulation
+  packages. Set order depends on insertion history and hash seeds; when
+  such an iteration feeds cycle accounting or replacement decisions the
+  run becomes order-dependent. Wrap in ``sorted(...)`` instead.
+"""
+
+import ast
+
+from repro.analysis.lint.engine import LintRule
+
+#: Module-level random functions that consume the shared hidden state.
+_MODULE_RNG_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+_WALL_CLOCK = {
+    "time": frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns", "process_time",
+                       "process_time_ns"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+}
+
+#: Methods on sets that return sets (iterating their result is unordered).
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference"})
+
+
+def _call_target(node):
+    """(module_name, attr_name) for ``module.attr(...)`` calls, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+class UnseededRandomRule(LintRule):
+    rule_id = "BF201"
+    description = ("no module-level random.* calls or unseeded "
+                   "random.Random(); thread a seeded Random through")
+
+    def visit_Call(self, node, ctx):
+        target = _call_target(node)
+        if target is None:
+            return
+        mod, attr = target
+        if mod != "random":
+            return
+        if attr in _MODULE_RNG_FNS:
+            ctx.report(node, "module-level random.%s() uses the shared "
+                             "unseeded RNG; draw from a seeded "
+                             "random.Random(seed) instance" % attr)
+        elif attr in ("Random", "SystemRandom") and not node.args \
+                and not node.keywords:
+            ctx.report(node, "random.%s() without a seed is "
+                             "nondeterministic; pass an explicit seed" % attr)
+
+    def visit_ImportFrom(self, node, ctx):
+        if node.level or node.module != "random":
+            return
+        names = [a.name for a in node.names
+                 if a.name in _MODULE_RNG_FNS or a.name == "*"]
+        if names:
+            ctx.report(node, "importing %s from random hides module-level "
+                             "RNG use; import random and use a seeded "
+                             "Random instance" % ", ".join(names))
+
+
+class WallClockRule(LintRule):
+    rule_id = "BF202"
+    description = "no wall-clock reads in simulation packages"
+
+    def applies_to(self, module):
+        return not module.is_test and module.in_sim_path
+
+    def visit_Call(self, node, ctx):
+        target = _call_target(node)
+        if target is None:
+            # datetime.datetime.now() — Attribute on an Attribute.
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "datetime"
+                    and func.attr in _WALL_CLOCK["datetime"]):
+                ctx.report(node, "wall-clock datetime.%s.%s() in a "
+                                 "simulation path; the only time here is "
+                                 "simulated cycles" % (func.value.attr,
+                                                       func.attr))
+            return
+        mod, attr = target
+        if attr in _WALL_CLOCK.get(mod, ()):
+            ctx.report(node, "wall-clock %s.%s() in a simulation path; the "
+                             "only time here is simulated cycles"
+                       % (mod, attr))
+
+
+def _is_set_expr(node):
+    """Conservatively: is this expression definitely a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            # x.union(y) — only certain when x is itself a set expression,
+            # but flag regardless: these methods exist solely on sets in
+            # this codebase.
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd,
+                                                            ast.BitOr)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class UnorderedIterationRule(LintRule):
+    rule_id = "BF203"
+    description = ("no iteration over unordered sets in simulation "
+                   "packages; wrap in sorted(...)")
+
+    def applies_to(self, module):
+        return not module.is_test and module.in_sim_path
+
+    def _check_iter(self, node, iter_node, ctx):
+        if _is_set_expr(iter_node):
+            ctx.report(node, "iteration order over a set depends on hashing "
+                             "and insertion history; wrap in sorted(...) so "
+                             "downstream accounting is deterministic")
+
+    def visit_For(self, node, ctx):
+        self._check_iter(node, node.iter, ctx)
+
+    def visit_comprehension(self, node, ctx):
+        self._check_iter(node, node.iter, ctx)

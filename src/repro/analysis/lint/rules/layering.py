@@ -1,0 +1,56 @@
+"""BF101: layering contracts between the ``repro`` packages.
+
+The simulator is a strict stack. ``hw/`` models timing-free hardware
+structures and must know nothing about the kernel or the simulator driving
+it; ``core/`` (the BabelFish mechanisms) may build on ``hw/`` and
+``kernel/`` but never on ``sim/``; ``workloads/`` generate traces and must
+not reach into ``hw/`` internals. Violations are how cross-layer
+shortcuts (a TLB peeking at kernel state, a workload tuned to a TLB
+geometry) sneak in and silently couple results to implementation details.
+"""
+
+from repro.analysis.lint.engine import LintRule
+
+#: package -> repro packages it may import (itself is always allowed).
+#: Packages absent from the table (e.g. ``experiments``, top-level
+#: modules) are unconstrained.
+ALLOWED_IMPORTS = {
+    "hw": frozenset(),
+    "kernel": frozenset({"hw"}),
+    "core": frozenset({"hw", "kernel"}),
+    "analysis": frozenset({"hw", "kernel", "core"}),
+    "sim": frozenset({"hw", "kernel", "core", "analysis"}),
+    "workloads": frozenset({"kernel", "core", "containers"}),
+    "containers": frozenset({"hw", "kernel", "core"}),
+}
+
+
+class LayeringRule(LintRule):
+    rule_id = "BF101"
+    description = ("layering contract: this package may not import the "
+                   "named repro package")
+
+    def applies_to(self, module):
+        return not module.is_test and module.package in ALLOWED_IMPORTS
+
+    def begin_module(self, module):
+        self._allowed = ALLOWED_IMPORTS[module.package] | {module.package}
+
+    def _check(self, node, target, ctx):
+        parts = target.split(".")
+        if len(parts) < 2 or parts[0] != "repro":
+            return
+        imported = parts[1]
+        if imported not in self._allowed:
+            ctx.report(node, "%s/ may not import repro.%s (allowed: %s)"
+                       % (ctx.module.package, imported,
+                          ", ".join(sorted(self._allowed))))
+
+    def visit_Import(self, node, ctx):
+        for alias in node.names:
+            self._check(node, alias.name, ctx)
+
+    def visit_ImportFrom(self, node, ctx):
+        if node.level or not node.module:
+            return  # relative imports stay within the package
+        self._check(node, node.module, ctx)

@@ -6,8 +6,6 @@ both; the paper conservatively evaluates HW), the ORPC filter
 huge-page PMD-table merging (Section IV-C).
 """
 
-import dataclasses
-
 from repro.core.aslr import ASLRMode
 from repro.kernel.frames import FrameKind
 from repro.experiments.common import (

@@ -10,8 +10,6 @@ same total container count, either paired same-app per core or mixed
 (one MongoDB + one HTTPd per core).
 """
 
-import itertools
-
 from repro.experiments.common import (
     WARM_SLICE,
     _make_trace,

@@ -8,7 +8,7 @@ matters is *which level* a page-walk request or data access hits in, which
 is determined by sharing of physical lines across containers.
 """
 
-from repro.hw.types import CACHE_LINE_SIZE, AccessKind, MemoryLevel
+from repro.hw.types import AccessKind, MemoryLevel
 
 
 class SetAssociativeCache:

@@ -22,7 +22,7 @@ from repro.kernel.fault import (
 from repro.kernel.frames import FrameAllocator, FrameKind
 from repro.kernel.lru import ActiveInactiveLRU
 from repro.kernel.page_cache import FileObject, PageCache
-from repro.kernel.page_table import PMD, PTE, PTE_LEVEL, TableRef
+from repro.kernel.page_table import PMD, PTE, PTE_LEVEL, TableRef, table_index
 from repro.kernel.process import Process
 from repro.kernel.vma import VMA, VMAKind
 
@@ -81,9 +81,22 @@ class PrivatePTPolicy:
         return table, index, 0
 
     def fill_info(self, proc, table, vpn):
-        """(o_bit, orpc, pc_mask) for a TLB fill; conventional TLBs have
-        none of these fields."""
-        return False, False, 0
+        """(o_bit, orpc, pc_mask) for a TLB fill under the BabelFish-TLB
+        ablation (TLB entry sharing over conventional private tables).
+
+        Only translations that are guaranteed group-stable may be tagged
+        shared (O=0): file-backed, non-CoW pages, whose frames the page
+        cache dedups across the group. Anonymous pages and CoW-armed
+        translations map per-process frames (or will, after the break) —
+        tagging them shared would serve one container's private frame to
+        another, so they carry Ownership.
+        """
+        index = table_index(vpn, table.level)
+        entry = table.entries.get(index)
+        if isinstance(entry, PTE) and entry.present \
+                and entry.file is not None and not entry.cow:
+            return False, False, 0
+        return True, False, 0
 
     def on_tables_freed(self, kernel, tables):
         pass

@@ -37,6 +37,12 @@ class SimConfig:
     #: Scheduler quantum in instructions (Table I's 10ms scaled down with
     #: the measurement slice; see DESIGN.md Section 4).
     quantum_instructions: int = 20_000
+    #: Enable the translation-coherence sanitizer: a shadow MMU that
+    #: cross-checks every TLB fill/hit/invalidation against an independent
+    #: architectural walk of the kernel page tables
+    #: (:mod:`repro.analysis.sanitizer`). Debug/CI knob — adds a software
+    #: walk per TLB event, so keep it off for performance numbers.
+    sanitize: bool = False
     costs: KernelCosts = dataclasses.field(default_factory=KernelCosts)
 
     @property

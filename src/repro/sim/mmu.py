@@ -61,6 +61,9 @@ class MMU:
         #: Callback set by the simulator: applies kernel-requested TLB
         #: invalidations to every core.
         self.invalidation_sink = self._local_invalidation_sink
+        #: Optional translation-coherence sanitizer (shadow MMU); set by
+        #: the simulator when ``config.sanitize`` is enabled.
+        self.sanitizer = None
 
     # -- main entry point --------------------------------------------------------
 
@@ -108,6 +111,9 @@ class MMU:
             else:
                 stats.l1_hits_d += 1
             entry = l1_res.entry
+            if self.sanitizer is not None:
+                self.sanitizer.check_hit("L1I" if instr else "L1D",
+                                         proc, entry, vpn_group)
             lookup_vpn = vpn_group if config.share_l1_tlb else vpn_proc
             ppn4k = entry.ppn + (lookup_vpn & (entry.page_size.base_pages - 1))
             return cycles, ppn4k, entry.page_size
@@ -142,6 +148,8 @@ class MMU:
             return cycles, None, None
         if l2_res.hit:
             entry = l2_res.entry
+            if self.sanitizer is not None:
+                self.sanitizer.check_hit("L2", proc, entry, vpn_group)
             if instr:
                 stats.l2_hits_i += 1
                 if entry.inserted_by != proc.pid:
@@ -193,6 +201,8 @@ class MMU:
                              cow=pte.cow, o_bit=True, inserted_by=proc.pid)
             replace = lambda old: old.pcid == entry.pcid
         self.l2.insert(entry, replace=replace)
+        if self.sanitizer is not None:
+            self.sanitizer.check_fill("L2", proc, entry, vpn_group)
         return entry
 
     def _fill_l1(self, proc, vpn_proc, vpn_group, l2_entry, instr):
@@ -217,6 +227,9 @@ class MMU:
         multi = self.l1i if instr else self.l1d
         if size in multi.tlbs:
             multi.insert(entry, replace=replace)
+            if self.sanitizer is not None:
+                self.sanitizer.check_fill("L1I" if instr else "L1D",
+                                          proc, entry, vpn_group)
 
     # -- faults and invalidations --------------------------------------------------------
 
@@ -270,6 +283,8 @@ class MMU:
             self.l1d.flush(pred)
             self.l1i.flush(pred)
             self.l2.flush(pred)
+        if self.sanitizer is not None:
+            self.sanitizer.check_invalidation(self, proc, inv)
 
     @staticmethod
     def _to_proc_space(proc, vpn_group):

@@ -17,6 +17,7 @@ segment-relative page, ``line`` the cache line within the page (0..63),
 ``request_id`` an optional request tag for latency accounting.
 """
 
+from repro.analysis.sanitizer import TranslationSanitizer
 from repro.hw.cache import CacheHierarchy
 from repro.hw.dram import DRAMModel
 from repro.hw.types import AccessKind
@@ -40,10 +41,13 @@ class Simulator:
         self.kernel = kernel
         self.dram = DRAMModel(machine.dram)
         self.hierarchy = CacheHierarchy(machine, self.dram)
+        self.sanitizer = (TranslationSanitizer(kernel, config)
+                          if config.sanitize else None)
         self.mmus = [MMU(core, machine, config, self.hierarchy, kernel)
                      for core in range(machine.cores)]
         for mmu in self.mmus:
             mmu.invalidation_sink = self._broadcast_invalidations
+            mmu.sanitizer = self.sanitizer
         self.scheduler = Scheduler(machine.cores, config.quantum_instructions)
         self.core_cycles = [0] * machine.cores
         self._traces = {}
@@ -134,6 +138,12 @@ class Simulator:
     def _finish(self):
         result = RunResult(self.config.name)
         result.stats = MMUStats.merged([m.stats for m in self.mmus])
+        if self.sanitizer is not None:
+            # End-of-run sweep: every surviving TLB entry must still agree
+            # with the architectural page tables.
+            for mmu in self.mmus:
+                self.sanitizer.scan(mmu)
+            result.coherence_violations = list(self.sanitizer.violations)
         result.core_cycles = {i: c for i, c in enumerate(self.core_cycles)}
         result.request_latency = dict(self._request_latency)
         result.context_switches = self.scheduler.context_switches

@@ -92,6 +92,9 @@ class RunResult:
         #: per-process cycles actually spent executing (excludes time the
         #: process was descheduled) — the function execution-time metric
         self.process_cycles = {}
+        #: CoherenceViolation records from the translation sanitizer
+        #: (empty unless the run had ``SimConfig(sanitize=True)``)
+        self.coherence_violations = []
 
     @property
     def total_cycles(self):

@@ -64,7 +64,9 @@ class PageWalker:
                     entry.accessed = True
                     result = WalkResult(entry, table, level, cycles, accesses, False)
                 break
-            assert isinstance(entry, TableRef)
+            if not isinstance(entry, TableRef):
+                raise TypeError("level-%d entry at vpn %#x is neither PTE "
+                                "nor TableRef: %r" % (level, vpn, entry))
             table = entry.table
             level -= 1
         self.total_cycles += result.cycles

@@ -1,6 +1,37 @@
-"""Shared fixtures: miniature kernels, CCID groups, and deployments."""
+"""Shared fixtures: miniature kernels, CCID groups, and deployments.
+
+Also wires the opt-in ``sanitize`` marker: tests that run whole
+experiments with the translation-coherence sanitizer enabled are skipped
+unless ``--sanitize`` (or ``REPRO_SANITIZE=1``) is given, so tier-1 time
+stays flat.
+"""
+
+import os
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run the full-experiment translation-coherence sanitizer "
+             "tests (slow; also enabled by REPRO_SANITIZE=1)")
+
+
+def sanitize_enabled(config):
+    return (config.getoption("--sanitize")
+            or os.environ.get("REPRO_SANITIZE") == "1")
+
+
+def pytest_collection_modifyitems(config, items):
+    if sanitize_enabled(config):
+        return
+    skip = pytest.mark.skip(
+        reason="sanitizer suite is opt-in: pass --sanitize or set "
+               "REPRO_SANITIZE=1")
+    for item in items:
+        if "sanitize" in item.keywords:
+            item.add_marker(skip)
 
 from repro.core.aslr import ASLRMode, group_layout_for, process_layout_for
 from repro.core.ccid import CCIDRegistry

@@ -1,0 +1,212 @@
+"""Unit tests for the repo-aware lint engine and every rule.
+
+Each rule gets a positive case (a synthetic snippet that must be flagged)
+and a suppressed case (the same snippet with ``# bfa: disable=RULE``).
+"""
+
+import textwrap
+
+from repro.analysis.findings import Severity
+from repro.analysis.lint.engine import LintEngine, ModuleInfo
+
+
+def lint(source, path="src/repro/sim/synthetic.py"):
+    return LintEngine().lint_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestEngine:
+    def test_clean_module_has_no_findings(self):
+        assert lint("x = 1\n") == []
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint("def broken(:\n")
+        assert rule_ids(findings) == ["BF000"]
+
+    def test_bare_disable_suppresses_everything(self):
+        findings = lint("assert x  # bfa: disable -- covered by BF000 test\n")
+        assert findings == []
+
+    def test_disable_of_other_rule_does_not_suppress(self):
+        findings = lint("assert x  # bfa: disable=BF101\n")
+        assert rule_ids(findings) == ["BF302"]
+
+    def test_finding_structure(self):
+        finding = lint("assert x\n")[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.line == 1
+        assert finding.path.endswith("synthetic.py")
+        assert finding.as_dict()["rule"] == "BF302"
+        assert "BF302" in finding.format()
+
+    def test_module_info_package_detection(self):
+        assert ModuleInfo("src/repro/hw/tlb.py").package == "hw"
+        assert ModuleInfo("src/repro/report.py").package == ""
+        assert ModuleInfo("tests/test_x.py").is_test
+        assert ModuleInfo("src/repro/hw/tlb.py").in_sim_path
+
+
+class TestLayeringBF101:
+    def test_hw_may_not_import_kernel(self):
+        findings = lint("from repro.kernel.kernel import Kernel\n",
+                        path="src/repro/hw/tlb.py")
+        assert rule_ids(findings) == ["BF101"]
+        assert "repro.kernel" in findings[0].message
+
+    def test_hw_may_not_import_sim_via_plain_import(self):
+        findings = lint("import repro.sim.mmu\n", path="src/repro/hw/tlb.py")
+        assert rule_ids(findings) == ["BF101"]
+
+    def test_core_may_not_import_sim(self):
+        findings = lint("from repro.sim.config import SimConfig\n",
+                        path="src/repro/core/opc.py")
+        assert rule_ids(findings) == ["BF101"]
+
+    def test_workloads_may_not_reach_hw_internals(self):
+        findings = lint("from repro.hw.tlb import SetAssocTLB\n",
+                        path="src/repro/workloads/zipf.py")
+        assert rule_ids(findings) == ["BF101"]
+
+    def test_allowed_edges_pass(self):
+        assert lint("from repro.hw.types import PageSize\n",
+                    path="src/repro/core/opc.py") == []
+        assert lint("from repro.kernel.vma import SegmentKind\n",
+                    path="src/repro/workloads/zipf.py") == []
+        assert lint("from repro.sim.mmu import MMU\n",
+                    path="src/repro/experiments/common.py") == []
+
+    def test_suppression(self):
+        findings = lint(
+            "from repro.sim.mmu import MMU"
+            "  # bfa: disable=BF101 -- test shim\n",
+            path="src/repro/core/opc.py")
+        assert findings == []
+
+
+class TestUnseededRandomBF201:
+    def test_module_level_draw_flagged(self):
+        findings = lint("import random\nrandom.randrange(64)\n",
+                        path="src/repro/workloads/w.py")
+        assert rule_ids(findings) == ["BF201"]
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = lint("import random\nrng = random.Random()\n",
+                        path="src/repro/containers/e.py")
+        assert rule_ids(findings) == ["BF201"]
+
+    def test_seeded_random_instance_passes(self):
+        assert lint("import random\nrng = random.Random(7)\n",
+                    path="src/repro/containers/e.py") == []
+
+    def test_from_import_of_rng_function_flagged(self):
+        findings = lint("from random import shuffle\n",
+                        path="src/repro/workloads/w.py")
+        assert rule_ids(findings) == ["BF201"]
+
+    def test_suppression(self):
+        assert lint("import random\nrandom.seed(0)"
+                    "  # bfa: disable=BF201 -- CLI entropy reset\n",
+                    path="src/repro/workloads/w.py") == []
+
+
+class TestWallClockBF202:
+    def test_time_time_in_sim_path_flagged(self):
+        findings = lint("import time\nstart = time.time()\n",
+                        path="src/repro/sim/simulator.py")
+        assert rule_ids(findings) == ["BF202"]
+
+    def test_perf_counter_flagged(self):
+        findings = lint("import time\nt = time.perf_counter()\n",
+                        path="src/repro/kernel/kernel.py")
+        assert rule_ids(findings) == ["BF202"]
+
+    def test_datetime_now_flagged(self):
+        findings = lint("import datetime\nnow = datetime.datetime.now()\n",
+                        path="src/repro/hw/dram.py")
+        assert rule_ids(findings) == ["BF202"]
+
+    def test_outside_sim_packages_allowed(self):
+        # repro/report.py is a CLI: wall-clock progress output is fine.
+        assert lint("import time\nstart = time.time()\n",
+                    path="src/repro/report.py") == []
+        assert lint("import time\nstart = time.time()\n",
+                    path="src/repro/experiments/common.py") == []
+
+    def test_suppression(self):
+        assert lint("import time\nt = time.time()"
+                    "  # bfa: disable=BF202 -- host-side profiling only\n",
+                    path="src/repro/sim/simulator.py") == []
+
+
+class TestUnorderedIterationBF203:
+    def test_for_over_set_literal_flagged(self):
+        findings = lint("for x in {1, 2, 3}:\n    pass\n")
+        assert rule_ids(findings) == ["BF203"]
+
+    def test_for_over_set_call_flagged(self):
+        findings = lint("for x in set(items):\n    pass\n")
+        assert rule_ids(findings) == ["BF203"]
+
+    def test_comprehension_over_set_union_flagged(self):
+        findings = lint("out = [x for x in a.union(b)]\n")
+        assert rule_ids(findings) == ["BF203"]
+
+    def test_sorted_set_passes(self):
+        assert lint("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_dict_iteration_passes(self):
+        assert lint("for k in mapping.values():\n    pass\n") == []
+
+    def test_outside_sim_packages_allowed(self):
+        assert lint("for x in set(items):\n    pass\n",
+                    path="src/repro/experiments/table2.py") == []
+
+    def test_suppression(self):
+        assert lint("for x in set(items):"
+                    "  # bfa: disable=BF203 -- order-insensitive sum\n"
+                    "    pass\n") == []
+
+
+class TestFloatCyclesBF301:
+    def test_division_into_cycles_flagged(self):
+        findings = lint("cycles = total / count\n")
+        assert rule_ids(findings) == ["BF301"]
+
+    def test_float_literal_augassign_flagged(self):
+        findings = lint("stats.walk_cycles += 1.5\n")
+        assert rule_ids(findings) == ["BF301"]
+
+    def test_int_wrapped_division_passes(self):
+        assert lint("cycles = int(total / count)\n") == []
+        assert lint("cycles = total // count\n") == []
+
+    def test_cycles_function_return_flagged(self):
+        findings = lint("def fault_cycles(a, b):\n    return a / b\n")
+        assert rule_ids(findings) == ["BF301"]
+
+    def test_non_cycles_variables_unconstrained(self):
+        assert lint("latency = total / count\n") == []
+
+    def test_outside_sim_packages_allowed(self):
+        assert lint("cycles = total / count\n",
+                    path="src/repro/experiments/fig9.py") == []
+
+    def test_suppression(self):
+        assert lint("cycles = total / count"
+                    "  # bfa: disable=BF301 -- plotting average\n") == []
+
+
+class TestBareAssertBF302:
+    def test_assert_in_src_flagged(self):
+        findings = lint("assert table.sharers > 0\n")
+        assert rule_ids(findings) == ["BF302"]
+
+    def test_assert_in_tests_allowed(self):
+        assert lint("assert x == 1\n", path="tests/test_thing.py") == []
+
+    def test_suppression(self):
+        assert lint("assert x  # bfa: disable=BF302 -- perf-critical "
+                    "debug guard\n") == []

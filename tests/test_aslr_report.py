@@ -1,8 +1,6 @@
 """Tests for the ASLR modes module, the ASCII charts, and the report CLI
 glue (cheap pieces not covered elsewhere)."""
 
-import pytest
-
 from repro.core.aslr import ASLRMode, group_layout_for, process_layout_for
 from repro.core.ccid import CCIDRegistry
 from repro.experiments.ascii_chart import (

@@ -1,13 +1,9 @@
 """Tests for the container engine and FaaS platform."""
 
-import pytest
-
 from repro.containers.image import ContainerImage, align_pages
 from repro.core.aslr import ASLRMode
-from repro.hw.params import baseline_machine
 from repro.kernel.vma import SegmentKind
-from repro.sim.config import babelfish_config, baseline_config
-from repro.sim.simulator import Simulator
+from repro.sim.config import babelfish_config
 
 from repro.experiments.common import build_environment, config_by_name
 

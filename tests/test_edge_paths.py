@@ -10,7 +10,6 @@ from repro.hw.pwc import PageWalkCache
 from repro.hw.types import AccessKind
 from repro.kernel.errors import ProtectionFault
 from repro.kernel.fault import FaultType
-from repro.kernel.page_table import PTE
 from repro.kernel.vma import SegmentKind, VMAKind
 from repro.sim.config import baseline_config
 from repro.sim.mmu import MMU
@@ -98,7 +97,6 @@ class TestEngineStopAccounting:
     def test_stop_releases_container_resources(self):
         from repro.containers.image import ContainerImage
         from repro.experiments.common import build_environment, config_by_name
-        from repro.kernel.frames import FrameKind
         image = ContainerImage(name="stoppable", binary_pages=8,
                                binary_data_pages=2, lib_pages=16,
                                lib_data_pages=2, infra_pages=8,

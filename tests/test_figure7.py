@@ -6,8 +6,6 @@ three times; BabelFish gives B a fault-free walk through cache-warm
 shared tables and C a straight L2 TLB hit.
 """
 
-import pytest
-
 from repro.containers.image import ContainerImage
 from repro.experiments.common import build_environment, config_by_name
 from repro.hw.types import AccessKind

@@ -11,7 +11,7 @@ from repro.hw.cacti import (
     l2_tlb_report,
 )
 from repro.hw.dram import DRAMModel
-from repro.hw.params import DRAMParams, baseline_machine
+from repro.hw.params import baseline_machine
 from repro.hw.pwc import PageWalkCache, PWC_LEVELS
 from repro.hw.params import PWCParams
 from repro.hw.types import AccessKind, PageSize, line_addr, vpn_for

@@ -9,8 +9,8 @@ import pytest
 from repro.hw.params import baseline_machine
 from repro.kernel.frames import FrameKind
 from repro.kernel.vma import SegmentKind
-from repro.sim.simulator import K_IFETCH, K_LOAD, K_STORE, Simulator
-from repro.sim.config import babelfish_config, baseline_config
+from repro.sim.simulator import K_LOAD, K_STORE, Simulator
+from repro.sim.config import babelfish_config
 from repro.workloads.profiles import APP_PROFILES
 
 from repro.experiments.common import (

@@ -1,15 +1,11 @@
 """Tests for TLB invalidation propagation across cores (shootdowns)."""
 
-import dataclasses
-
-import pytest
-
 from repro.hw.params import baseline_machine
 from repro.hw.types import AccessKind, PageSize
 from repro.kernel.fault import InvalidationScope, TLBInvalidation
 from repro.kernel.vma import SegmentKind
 from repro.sim.config import babelfish_config, baseline_config
-from repro.sim.simulator import K_LOAD, K_STORE, Simulator
+from repro.sim.simulator import Simulator
 
 from conftest import MiniSystem
 

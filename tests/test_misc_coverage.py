@@ -25,8 +25,6 @@ from repro.sim.config import (
     bigtlb_config,
 )
 
-from conftest import MiniSystem
-
 
 class TestProcess:
     def make(self):

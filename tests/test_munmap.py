@@ -4,9 +4,7 @@ import pytest
 
 from repro.kernel.errors import SegmentationFault
 from repro.kernel.frames import FrameKind
-from repro.kernel.vma import SegmentKind, VMAKind
-
-from conftest import MiniSystem
+from repro.kernel.vma import SegmentKind
 
 HEAP, MMAP = SegmentKind.HEAP, SegmentKind.MMAP
 

@@ -1,0 +1,45 @@
+"""Opt-in full-experiment runs with the translation-coherence sanitizer.
+
+Skipped by default (see conftest); enable with ``--sanitize`` or
+``REPRO_SANITIZE=1``. Each run replays a scaled-down bringup workload
+with ``SimConfig(sanitize=True)`` and requires a spotless coherence
+record — any stale TLB entry, CCID leak, O-PC desync, or invalidation
+leak anywhere in the run fails the test with the violation text.
+"""
+
+import pytest
+
+from repro.experiments.common import config_by_name, run_app, run_functions
+from repro.sim.config import babelfish_tlb_only_config
+
+pytestmark = pytest.mark.sanitize
+
+
+def assert_coherent(run):
+    violations = run.result.coherence_violations
+    assert violations == [], "\n".join(v.format() for v in violations[:20])
+
+
+@pytest.mark.parametrize("name", ["Baseline", "BabelFish", "BabelFish-PT"])
+def test_functions_run_coherent(name):
+    config = config_by_name(name, sanitize=True)
+    run = run_functions(config, dense=True, cores=2, scale=0.25,
+                        use_cache=False)
+    assert_coherent(run)
+
+
+def test_functions_tlb_only_ablation_coherent():
+    # The ablation pairs shared TLB entries with private page tables — the
+    # configuration where fill_info tagging bugs surface as cross-container
+    # frame leaks, so it gets its own sanitized run.
+    run = run_functions(babelfish_tlb_only_config(sanitize=True),
+                        dense=True, cores=2, scale=0.25, use_cache=False)
+    assert_coherent(run)
+
+
+@pytest.mark.parametrize("app", ["mongodb", "graphchi"])
+@pytest.mark.parametrize("name", ["Baseline", "BabelFish"])
+def test_apps_run_coherent(app, name):
+    config = config_by_name(name, sanitize=True)
+    run = run_app(app, config, cores=2, scale=0.25, use_cache=False)
+    assert_coherent(run)

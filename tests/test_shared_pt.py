@@ -1,11 +1,8 @@
 """Tests for BabelFish's shared page tables (Sections III-B, IV-B, Appendix)."""
 
-import pytest
-
 from repro.core.mask_page import region_of
 from repro.kernel.fault import FaultType, InvalidationScope
-from repro.kernel.frames import FrameKind
-from repro.kernel.page_table import PTE_LEVEL, TableRef, pte_table_id
+from repro.kernel.page_table import PTE_LEVEL, pte_table_id
 from repro.kernel.vma import SegmentKind, VMAKind
 
 from conftest import MiniSystem

@@ -1,7 +1,5 @@
 """Tests for the walker, MMU, scheduler, and simulator."""
 
-import pytest
-
 from repro.core.aslr import ASLRMode
 from repro.hw.cache import CacheHierarchy
 from repro.hw.dram import DRAMModel
@@ -11,7 +9,7 @@ from repro.kernel.scheduler import Scheduler
 from repro.kernel.vma import SegmentKind
 from repro.sim.config import babelfish_config, baseline_config, bigtlb_config
 from repro.sim.mmu import MMU
-from repro.sim.simulator import K_IFETCH, K_LOAD, K_STORE, Simulator
+from repro.sim.simulator import K_LOAD, Simulator
 from repro.sim.stats import MMUStats, percentile
 from repro.sim.walker import PageWalker
 

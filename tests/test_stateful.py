@@ -131,7 +131,6 @@ class SharingMachine(RuleBasedStateMachine):
         return min(live, key=lambda l: abs(l - label))
 
     def _frame(self, name, label, segment, page):
-        sys = self.systems[name]
         proc = self.procs[name][label]
         pte = proc.tables.lookup_pte(proc.vpn_group(segment, page))
         if pte is None or not pte.present:

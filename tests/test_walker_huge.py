@@ -5,12 +5,9 @@ from repro.hw.cache import CacheHierarchy
 from repro.hw.dram import DRAMModel
 from repro.hw.params import baseline_machine
 from repro.hw.pwc import PageWalkCache
-from repro.hw.types import AccessKind, PageSize
-from repro.kernel.frames import FrameAllocator
+from repro.hw.types import PageSize
 from repro.kernel.page_table import PTE, PUD
 from repro.kernel.vma import SegmentKind
-from repro.sim.config import baseline_config
-from repro.sim.mmu import MMU
 from repro.sim.walker import PageWalker
 
 from conftest import MiniSystem
