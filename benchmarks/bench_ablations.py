@@ -2,7 +2,7 @@
 explicit studies): ASLR mode, the ORPC filter, PC-bitmask width,
 huge-page PMD merging, and scheduler-quantum sensitivity."""
 
-from bench_common import BENCH_CORES, report
+from bench_common import BENCH_CORES, BENCH_JOBS, report
 from repro.experiments.ablations import (
     run_aslr_ablation,
     run_bitmask_width_ablation,
@@ -16,7 +16,8 @@ CORES = min(BENCH_CORES, 4)
 
 
 def bench_aslr_modes(benchmark):
-    rows = benchmark.pedantic(run_aslr_ablation, kwargs={"cores": CORES},
+    rows = benchmark.pedantic(run_aslr_ablation,
+                              kwargs={"cores": CORES, "jobs": BENCH_JOBS},
                               rounds=1, iterations=1)
     report("ablation_aslr", format_table(
         rows, ["mode", "mean_reduction_pct", "aslr_transforms", "l1_shared"],
@@ -29,7 +30,8 @@ def bench_aslr_modes(benchmark):
 
 
 def bench_orpc_filter(benchmark):
-    rows = benchmark.pedantic(run_orpc_ablation, kwargs={"cores": CORES},
+    rows = benchmark.pedantic(run_orpc_ablation,
+                              kwargs={"cores": CORES, "jobs": BENCH_JOBS},
                               rounds=1, iterations=1)
     report("ablation_orpc", format_table(
         rows, ["orpc_enabled", "mean_reduction_pct", "l2_long_accesses"],
@@ -63,7 +65,8 @@ def bench_share_huge(benchmark):
 
 
 def bench_quantum_sensitivity(benchmark):
-    rows = benchmark.pedantic(run_quantum_ablation, kwargs={"cores": CORES},
+    rows = benchmark.pedantic(run_quantum_ablation,
+                              kwargs={"cores": CORES, "jobs": BENCH_JOBS},
                               rounds=1, iterations=1)
     report("ablation_quantum", format_table(
         rows, ["quantum_instructions", "mean_reduction_pct"],

@@ -1,13 +1,15 @@
 """Section VII-C: serverless function bring-up time (docker start)."""
 
-from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from bench_common import (BENCH_CORES, BENCH_JOBS, BENCH_SCALE,
+                          paper_vs_measured, report)
 from repro.experiments.bringup import run_bringup
 from repro.experiments.paper_values import HEADLINE
 
 
 def bench_bringup(benchmark):
     result = benchmark.pedantic(
-        run_bringup, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        run_bringup, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE,
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     comparison = paper_vs_measured([
         ("bring-up reduction %",

@@ -5,7 +5,7 @@ the gains would grow with consolidation; this sweep verifies that: the
 latency/MPKI advantage and the shared-hit fraction all rise with density.
 """
 
-from bench_common import BENCH_SCALE, report
+from bench_common import BENCH_JOBS, BENCH_SCALE, report
 from repro.experiments.ascii_chart import hbar_chart
 from repro.experiments.common import format_table
 from repro.experiments.density import run_density_sweep
@@ -14,7 +14,8 @@ from repro.experiments.density import run_density_sweep
 def bench_density_sweep(benchmark):
     rows = benchmark.pedantic(
         run_density_sweep,
-        kwargs={"cores": 2, "scale": min(0.5, BENCH_SCALE)},
+        kwargs={"cores": 2, "scale": min(0.5, BENCH_SCALE),
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     table = format_table(
         rows,

@@ -6,7 +6,7 @@ the paper's text claims (53% shareable on average, 93% for functions,
 30% / 57% active reductions, ~8% THP, ~6% unshareable for functions).
 """
 
-from bench_common import BENCH_SCALE, paper_vs_measured, report
+from bench_common import BENCH_JOBS, BENCH_SCALE, paper_vs_measured, report
 from repro.experiments.ascii_chart import stacked_fraction_chart
 from repro.experiments.common import format_table
 from repro.experiments.fig9 import run_fig9, summarize
@@ -14,7 +14,7 @@ from repro.experiments.paper_values import FIG9
 
 
 def bench_fig9_pte_sharing(benchmark):
-    rows = benchmark.pedantic(run_fig9, kwargs={"scale": BENCH_SCALE},
+    rows = benchmark.pedantic(run_fig9, kwargs={"scale": BENCH_SCALE, "jobs": BENCH_JOBS},
                               rounds=1, iterations=1)
     table = format_table(
         [r.as_dict() for r in rows],

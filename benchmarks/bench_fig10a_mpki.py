@@ -1,6 +1,7 @@
 """Figure 10a: L2 TLB MPKI reduction, instruction and data separately."""
 
-from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from bench_common import (BENCH_CORES, BENCH_JOBS, BENCH_SCALE,
+                          paper_vs_measured, report)
 from repro.experiments.ascii_chart import grouped_hbar_chart
 from repro.experiments.common import format_table
 from repro.experiments.fig10 import run_fig10, summarize
@@ -9,7 +10,8 @@ from repro.experiments.paper_values import FIG10A
 
 def bench_fig10a_mpki(benchmark):
     rows = benchmark.pedantic(
-        run_fig10, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        run_fig10, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE,
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     table = format_table(
         rows,

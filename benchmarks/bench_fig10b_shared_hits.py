@@ -1,6 +1,7 @@
 """Figure 10b: shared hits as a fraction of all L2 TLB hits."""
 
-from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from bench_common import (BENCH_CORES, BENCH_JOBS, BENCH_SCALE,
+                          paper_vs_measured, report)
 from repro.experiments.common import format_table
 from repro.experiments.fig10 import run_fig10, summarize
 from repro.experiments.paper_values import FIG10B
@@ -8,7 +9,8 @@ from repro.experiments.paper_values import FIG10B
 
 def bench_fig10b_shared_hits(benchmark):
     rows = benchmark.pedantic(
-        run_fig10, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        run_fig10, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE,
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     table = format_table(
         rows, ["app", "shared_hits_d", "shared_hits_i"],

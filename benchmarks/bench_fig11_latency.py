@@ -1,6 +1,7 @@
 """Figure 11: latency / execution-time reduction attained by BabelFish."""
 
-from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from bench_common import (BENCH_CORES, BENCH_JOBS, BENCH_SCALE,
+                          paper_vs_measured, report)
 from repro.experiments.ascii_chart import hbar_chart
 from repro.experiments.common import format_table
 from repro.experiments.fig11 import run_fig11, summarize
@@ -9,7 +10,8 @@ from repro.experiments.paper_values import FIG11
 
 def bench_fig11_latency(benchmark):
     results = benchmark.pedantic(
-        run_fig11, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        run_fig11, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE,
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     serving = format_table(
         results["serving"], ["app", "mean_reduction_pct", "tail_reduction_pct"],

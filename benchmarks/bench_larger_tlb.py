@@ -4,7 +4,8 @@ Spending BabelFish's extra bits on a 2x conventional L2 TLB recovers only
 a small fraction of the gains (paper: 2.1% / 0.6% / 1.1% / 0.3%).
 """
 
-from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from bench_common import (BENCH_CORES, BENCH_JOBS, BENCH_SCALE,
+                          paper_vs_measured, report)
 from repro.experiments.common import format_table
 from repro.experiments.larger_tlb import run_comparison
 from repro.experiments.paper_values import LARGER_TLB
@@ -12,7 +13,8 @@ from repro.experiments.paper_values import LARGER_TLB
 
 def bench_larger_tlb(benchmark):
     rows = benchmark.pedantic(
-        run_comparison, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        run_comparison, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE,
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     table = format_table(
         rows, ["metric", "bigtlb_reduction_pct", "babelfish_reduction_pct"],

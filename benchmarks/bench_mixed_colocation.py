@@ -3,7 +3,7 @@ repro/experiments/mixed.py). Shows that BabelFish's per-core TLB-sharing
 benefit needs same-CCID neighbours, while page-table sharing still works
 across cores."""
 
-from bench_common import BENCH_CORES, BENCH_SCALE, report
+from bench_common import BENCH_CORES, BENCH_JOBS, BENCH_SCALE, report
 from repro.experiments.common import format_table
 from repro.experiments.mixed import run_mixed_colocation
 
@@ -13,7 +13,8 @@ CORES = min(BENCH_CORES, 4)
 def bench_mixed_colocation(benchmark):
     rows = benchmark.pedantic(
         run_mixed_colocation,
-        kwargs={"cores": CORES, "scale": min(1.0, BENCH_SCALE)},
+        kwargs={"cores": CORES, "scale": min(1.0, BENCH_SCALE),
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     report("mixed_colocation", format_table(
         rows, ["scenario", "mean_reduction_pct", "shared_hits",

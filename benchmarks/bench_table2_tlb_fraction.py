@@ -4,7 +4,8 @@ Measured by ablation (BabelFish-PT vs full BabelFish); see
 repro.experiments.table2 for the attribution discussion.
 """
 
-from bench_common import BENCH_CORES, BENCH_SCALE, paper_vs_measured, report
+from bench_common import (BENCH_CORES, BENCH_JOBS, BENCH_SCALE,
+                          paper_vs_measured, report)
 from repro.experiments.common import format_table
 from repro.experiments.paper_values import TABLE2
 from repro.experiments.table2 import run_table2, summarize
@@ -12,7 +13,8 @@ from repro.experiments.table2 import run_table2, summarize
 
 def bench_table2_tlb_fraction(benchmark):
     rows = benchmark.pedantic(
-        run_table2, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE},
+        run_table2, kwargs={"cores": BENCH_CORES, "scale": BENCH_SCALE,
+                "jobs": BENCH_JOBS},
         rounds=1, iterations=1)
     table = format_table(rows, ["app", "tlb_fraction"],
                          title="Table II: fraction of gains from L2 TLB "

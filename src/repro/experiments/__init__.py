@@ -12,13 +12,31 @@ from repro.experiments.common import (
     run_app,
     run_functions,
     clear_run_cache,
+    disk_cache,
+    set_disk_cache,
+    simulation_run_count,
+)
+from repro.experiments.runcache import DiskRunCache
+from repro.experiments.runner import (
+    RunRequest,
+    execute,
+    parallel_map,
+    report_matrix,
 )
 
 __all__ = [
     "AppRun",
+    "DiskRunCache",
+    "RunRequest",
     "build_environment",
     "deploy_app",
     "run_app",
     "run_functions",
     "clear_run_cache",
+    "disk_cache",
+    "execute",
+    "parallel_map",
+    "report_matrix",
+    "set_disk_cache",
+    "simulation_run_count",
 ]

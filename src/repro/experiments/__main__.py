@@ -1,0 +1,112 @@
+"""``python -m repro.experiments``: run the report's experiment matrix.
+
+``run`` executes every cacheable run behind ``python -m repro.report``
+in parallel with progress lines, persisting summaries to the disk run
+cache so subsequent report/benchmark invocations are warm.  ``cache``
+inspects or clears that store.
+
+    python -m repro.experiments run --quick --jobs 4
+    python -m repro.experiments cache
+    python -m repro.experiments cache --clear
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import set_disk_cache, simulation_run_count
+from repro.experiments.runcache import DiskRunCache, default_cache_dir
+from repro.experiments.runner import execute, report_matrix
+
+
+def _add_scale_args(parser):
+    parser.add_argument("--quick", action="store_true",
+                        help="small cores/scale (~1 minute)")
+    parser.add_argument("--cores", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+
+
+def resolve_scale_args(parser, args):
+    """Validated (cores, scale) with --quick defaults.
+
+    Explicit zero/negative values are errors, not silent fallbacks to
+    the defaults (``--cores 0`` must not mean ``--cores 8``).
+    """
+    if args.cores is not None and args.cores < 1:
+        parser.error("--cores must be a positive integer (got %d)"
+                     % args.cores)
+    if args.scale is not None and args.scale <= 0:
+        parser.error("--scale must be a positive number (got %g)"
+                     % args.scale)
+    cores = args.cores if args.cores is not None else (2 if args.quick else 8)
+    scale = args.scale if args.scale is not None else (
+        0.25 if args.quick else 1.0)
+    return cores, scale
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="execute the report's run matrix (parallel, cached)")
+    _add_scale_args(run_parser)
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (default 1)")
+    run_parser.add_argument("--cache-dir", default=None,
+                            help="disk cache directory (default "
+                                 "benchmarks/out/runcache)")
+    run_parser.add_argument("--no-disk-cache", action="store_true",
+                            help="keep results in memory only")
+
+    cache_parser = sub.add_parser("cache", help="inspect/clear the run cache")
+    cache_parser.add_argument("--dir", default=None,
+                              help="cache directory (default "
+                                   "benchmarks/out/runcache)")
+    cache_parser.add_argument("--clear", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "cache":
+        return _cache_command(args)
+    return _run_command(run_parser, args)
+
+
+def _run_command(parser, args):
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer (got %d)" % args.jobs)
+    cores, scale = resolve_scale_args(parser, args)
+    cache = None
+    if not args.no_disk_cache:
+        cache = DiskRunCache(args.cache_dir)
+        set_disk_cache(cache)
+        print("run cache: %s" % cache.root)
+    matrix = report_matrix(cores=cores, scale=scale)
+    print("executing %d runs (cores=%d scale=%.2f jobs=%d)"
+          % (len(matrix), cores, scale, args.jobs))
+    started = time.time()
+    runs = execute(matrix, jobs=args.jobs, progress=print)
+    elapsed = time.time() - started
+    simulated = (simulation_run_count() if args.jobs <= 1
+                 else len(matrix) - (cache.hits if cache else 0))
+    print("done: %d runs (%d simulated, %d cached) in %.1fs"
+          % (len(runs), max(0, simulated), len(runs) - max(0, simulated),
+             elapsed))
+    return 0
+
+
+def _cache_command(args):
+    cache = DiskRunCache(args.dir)
+    entries = cache.entries()
+    total = sum(path.stat().st_size for path in entries)
+    print("cache dir:  %s" % cache.root)
+    print("entries:    %d (%.1f KiB)" % (len(entries), total / 1024.0))
+    print("code hash:  %s" % cache.fingerprint[:16])
+    if args.clear:
+        removed = cache.clear()
+        print("cleared:    %d entries" % removed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,26 +9,31 @@ huge-page PMD-table merging (Section IV-C).
 from repro.core.aslr import ASLRMode
 from repro.kernel.frames import FrameKind
 from repro.experiments.common import (
-    build_environment,
     config_by_name,
-    deploy_app,
-    measure_app,
     pct_reduction,
+    run_app,
 )
+from repro.experiments.runner import RunRequest, execute, request_overrides
 from repro.sim.config import babelfish_config
-from repro.workloads.profiles import APP_PROFILES
 
 
 def _measure(config, app, cores, scale):
-    env = build_environment(config, cores=cores)
-    deployment = deploy_app(env, APP_PROFILES[app])
-    result = measure_app(env, deployment, scale=scale)
-    return result, env
+    """One measured run through the (correctly keyed) run cache: ablation
+    configs share ``config.name`` with the stock configs but differ in
+    field values, which the full-field cache key now distinguishes."""
+    run = run_app(app, config, cores=cores, scale=scale)
+    return run.result, run.env
 
 
-def run_aslr_ablation(app="mongodb", cores=4, scale=0.5):
+def run_aslr_ablation(app="mongodb", cores=4, scale=0.5, jobs=1):
     """ASLR-SW avoids the 2-cycle transform and shares at the L1 TLB too;
     ASLR-HW (paper default) gives per-process layouts."""
+    if jobs > 1:
+        execute([RunRequest(kind="app", app=app, cores=cores, scale=scale)]
+                + [RunRequest(kind="app", app=app, config_name="BabelFish",
+                              overrides=request_overrides(aslr_mode=mode),
+                              cores=cores, scale=scale)
+                   for mode in (ASLRMode.SW, ASLRMode.HW)], jobs=jobs)
     base, _ = _measure(config_by_name("Baseline"), app, cores, scale)
     rows = []
     for mode in (ASLRMode.SW, ASLRMode.HW):
@@ -44,9 +49,15 @@ def run_aslr_ablation(app="mongodb", cores=4, scale=0.5):
     return rows
 
 
-def run_orpc_ablation(app="mongodb", cores=4, scale=0.5):
+def run_orpc_ablation(app="mongodb", cores=4, scale=0.5, jobs=1):
     """Without ORPC, every shared-entry L2 TLB access pays the long
     (PC-bitmask) access time."""
+    if jobs > 1:
+        execute([RunRequest(kind="app", app=app, cores=cores, scale=scale)]
+                + [RunRequest(kind="app", app=app, config_name="BabelFish",
+                              overrides=request_overrides(orpc_enabled=orpc),
+                              cores=cores, scale=scale)
+                   for orpc in (True, False)], jobs=jobs)
     base, _ = _measure(config_by_name("Baseline"), app, cores, scale)
     rows = []
     for orpc in (True, False):
@@ -169,10 +180,17 @@ def run_share_huge_ablation(blocks=4, sharers=6):
 
 
 def run_quantum_ablation(app="mongodb", cores=4, scale=0.5,
-                         quanta=(5_000, 20_000, 80_000)):
+                         quanta=(5_000, 20_000, 80_000), jobs=1):
     """Scheduler quantum sensitivity: shorter quanta mean more
     cross-container TLB interleaving, which sharing turns from interference
     into prefetching."""
+    if jobs > 1:
+        execute([RunRequest(kind="app", app=app, config_name=name,
+                            overrides=request_overrides(
+                                quantum_instructions=quantum),
+                            cores=cores, scale=scale)
+                 for quantum in quanta
+                 for name in ("Baseline", "BabelFish")], jobs=jobs)
     rows = []
     for quantum in quanta:
         base, _ = _measure(config_by_name(

@@ -8,9 +8,12 @@ translations under BabelFish). The paper reports an 8% reduction.
 """
 
 from repro.experiments.common import config_by_name, pct_reduction, run_functions
+from repro.experiments.runner import bringup_matrix, execute
 
 
-def run_bringup(cores=8, scale=1.0):
+def run_bringup(cores=8, scale=1.0, jobs=1):
+    if jobs > 1:
+        execute(bringup_matrix(cores=cores, scale=scale), jobs=jobs)
     base = run_functions(config_by_name("Baseline"), dense=True,
                          cores=cores, scale=scale)
     bf = run_functions(config_by_name("BabelFish"), dense=True,

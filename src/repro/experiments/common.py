@@ -6,9 +6,16 @@ application per the paper's co-location rules (2 containers per core for
 serving/compute, 3 function containers per core); and runs the two-phase
 "warm up, then measure" methodology of Section VI.
 
-Runs are memoized on (app, config, cores, scale) because several
-figures/tables are computed from the same runs (Figures 9-11 and Table II
-all share the serving/compute runs).
+Runs are memoized on (app, full config field tuple, cores, scale)
+because several figures/tables are computed from the same runs
+(Figures 9-11 and Table II all share the serving/compute runs).  The key
+canonicalizes *every* ``SimConfig`` field — not ``config.name`` — so
+configs built via ``config_by_name(name, **overrides)`` (the ablation
+and larger-TLB sweeps) never collide with the stock config of the same
+name.  An optional persistent layer (:mod:`repro.experiments.runcache`,
+installed with :func:`set_disk_cache`) memoizes run *summaries* across
+processes and invocations, keyed additionally by a fingerprint of the
+simulator sources.
 """
 
 import dataclasses
@@ -35,10 +42,12 @@ from repro.workloads.profiles import (
 from repro.sim.config import (
     babelfish_config,
     babelfish_pt_only_config,
+    babelfish_tlb_only_config,
     baseline_config,
     bigtlb_config,
 )
 from repro.sim.simulator import Simulator
+from repro.experiments import runcache
 
 #: Fraction of the measured request count used for architectural warm-up
 #: (the paper warms 500M instructions before measuring 4B).
@@ -159,12 +168,17 @@ def _os_warmup(env, deployment):
         warm_pages = int(profile.dataset_pages * profile.warm_coverage)
         for page in range(warm_pages):
             kernel.touch(proc, proc.vpn_group(SegmentKind.MMAP, page))
-        for page in range(profile.code_hot):
-            kernel.touch(proc, proc.vpn_group(SegmentKind.CODE,
-                                              page % profile.image.binary_pages))
-        for page in range(profile.lib_hot):
-            kernel.touch(proc, proc.vpn_group(SegmentKind.LIBS,
-                                              page % profile.image.lib_pages))
+        # Custom images may have no binary or library pages at all (e.g.
+        # a pure-heap microbenchmark image); there is then no code/lib
+        # working set to warm, so skip rather than divide by zero.
+        if profile.image.binary_pages:
+            for page in range(profile.code_hot):
+                kernel.touch(proc, proc.vpn_group(
+                    SegmentKind.CODE, page % profile.image.binary_pages))
+        if profile.image.lib_pages:
+            for page in range(profile.lib_hot):
+                kernel.touch(proc, proc.vpn_group(
+                    SegmentKind.LIBS, page % profile.image.lib_pages))
         warm_trace = _make_trace(profile, container.index,
                                  requests=max(
                                      1, int(profile.requests * profile.warm_fraction)),
@@ -211,9 +225,51 @@ def measure_app(env, deployment, scale=1.0):
 
 _RUN_CACHE = {}
 
+#: Optional persistent layer (a :class:`repro.experiments.runcache
+#: .DiskRunCache`); None keeps memoization process-local.
+_DISK_CACHE = None
+
+#: Count of actual simulations executed in this process (cache hits do
+#: not increment it) — lets tests assert that a cache hit skipped the
+#: simulator entirely.
+_SIMULATION_RUNS = 0
+
+
+def simulation_run_count():
+    return _SIMULATION_RUNS
+
+
+def _count_simulation():
+    global _SIMULATION_RUNS
+    _SIMULATION_RUNS += 1
+
 
 def clear_run_cache():
+    """Clear the in-memory memo (the disk layer, if any, is untouched)."""
     _RUN_CACHE.clear()
+
+
+def set_disk_cache(cache):
+    """Install (or with None, remove) the persistent run cache; returns
+    the previously installed one."""
+    global _DISK_CACHE
+    previous = _DISK_CACHE
+    _DISK_CACHE = cache
+    return previous
+
+
+def disk_cache():
+    return _DISK_CACHE
+
+
+def config_cache_key(config):
+    """The full field tuple of a config — the memoization key component.
+
+    ``dataclasses.astuple`` recurses into ``costs``, so *any* field
+    difference (an ablation override, a costs tweak) yields a distinct
+    key even when ``config.name`` matches the stock config's.
+    """
+    return dataclasses.astuple(config)
 
 
 def config_by_name(name, **overrides):
@@ -221,17 +277,64 @@ def config_by_name(name, **overrides):
         "Baseline": baseline_config,
         "BabelFish": babelfish_config,
         "BabelFish-PT": babelfish_pt_only_config,
+        "BabelFish-TLB": babelfish_tlb_only_config,
         "BigTLB": bigtlb_config,
     }
     return builders[name](**overrides)
 
 
+def summarize_app_run(run, cores, scale, containers_per_core):
+    """The JSON-ready summary artifacts of an :class:`AppRun` (what the
+    disk cache stores and pool workers ship back to the parent)."""
+    return {
+        "kind": "app",
+        "app": run.app,
+        "config": runcache.config_field_dict(run.config),
+        "cores": cores,
+        "scale": scale,
+        "containers_per_core": containers_per_core,
+        "result": runcache.result_to_dict(run.result),
+        "kernel": runcache.kernel_snapshot(run.env.kernel),
+    }
+
+
+def rehydrate_app_run(summary):
+    """An :class:`AppRun` carrying the summarized result and a
+    :class:`~repro.experiments.runcache.CachedKernel` snapshot (no live
+    deployment; use ``use_cache=False`` for page-table introspection)."""
+    config = runcache.config_from_fields(summary["config"])
+    env = Environment(config, None, runcache.CachedKernel(summary["kernel"]),
+                      None, None, None)
+    return AppRun(summary["app"], config, env, None,
+                  runcache.result_from_dict(summary["result"]))
+
+
+def remember_app_run(run, cores, scale, containers_per_core=None):
+    """Seed the in-memory memo with an externally produced run (e.g. one
+    rehydrated from a pool worker's summary)."""
+    key = ("app", run.app, config_cache_key(run.config), cores, scale,
+           containers_per_core)
+    _RUN_CACHE[key] = run
+    return run
+
+
 def run_app(app_name, config, cores=8, scale=1.0, containers_per_core=None,
             use_cache=True):
     """Deploy + warm + measure one application under one configuration."""
-    key = (app_name, config.name, cores, scale, containers_per_core)
+    key = ("app", app_name, config_cache_key(config), cores, scale,
+           containers_per_core)
     if use_cache and key in _RUN_CACHE:
         return _RUN_CACHE[key]
+    key_data = None
+    if use_cache and _DISK_CACHE is not None:
+        key_data = runcache.app_key_data(app_name, config, cores, scale,
+                                         containers_per_core)
+        payload = _DISK_CACHE.load(key_data)
+        if payload is not None:
+            run = rehydrate_app_run(payload)
+            _RUN_CACHE[key] = run
+            return run
+    _count_simulation()
     profile = APP_PROFILES[app_name]
     env = build_environment(config, cores=cores)
     deployment = deploy_app(env, profile, containers_per_core)
@@ -239,6 +342,9 @@ def run_app(app_name, config, cores=8, scale=1.0, containers_per_core=None,
     run = AppRun(app_name, config, env, deployment, result)
     if use_cache:
         _RUN_CACHE[key] = run
+        if _DISK_CACHE is not None and not result.coherence_violations:
+            _DISK_CACHE.store(key_data, summarize_app_run(
+                run, cores, scale, containers_per_core))
     return run
 
 
@@ -259,15 +365,56 @@ class FunctionsRun:
     result: object
 
 
+def summarize_functions_run(run, cores, scale):
+    """JSON-ready summary artifacts of a :class:`FunctionsRun`."""
+    return {
+        "kind": "functions",
+        "config": runcache.config_field_dict(run.config),
+        "dense": run.dense,
+        "cores": cores,
+        "scale": scale,
+        "bringup_cycles": run.bringup_cycles,
+        "exec_cycles": dict(run.exec_cycles),
+        "result": runcache.result_to_dict(run.result),
+        "kernel": runcache.kernel_snapshot(run.env.kernel),
+    }
+
+
+def rehydrate_functions_run(summary):
+    config = runcache.config_from_fields(summary["config"])
+    env = Environment(config, None, runcache.CachedKernel(summary["kernel"]),
+                      None, None, None)
+    return FunctionsRun(config, summary["dense"], env, None,
+                        summary["bringup_cycles"],
+                        dict(summary["exec_cycles"]),
+                        runcache.result_from_dict(summary["result"]))
+
+
+def remember_functions_run(run, cores, scale):
+    key = ("functions", config_cache_key(run.config), run.dense, cores,
+           scale)
+    _RUN_CACHE[key] = run
+    return run
+
+
 def run_functions(config, dense=True, cores=8, scale=1.0, use_cache=True):
     """The FaaS experiment: 3 function containers per core (Section VI).
 
     Two waves per core: the leading wave takes the cold-start costs the
     paper excludes; the second wave is measured (bring-up and execution).
     """
-    key = ("functions", config.name, dense, cores, scale)
+    key = ("functions", config_cache_key(config), dense, cores, scale)
     if use_cache and key in _RUN_CACHE:
         return _RUN_CACHE[key]
+    key_data = None
+    if use_cache and _DISK_CACHE is not None:
+        key_data = runcache.functions_key_data(config, dense, cores, scale)
+        payload = _DISK_CACHE.load(key_data)
+        if payload is not None:
+            run = rehydrate_functions_run(payload)
+            _RUN_CACHE[key] = run
+            return run
+    _count_simulation()
     env = build_environment(config, cores=cores)
     platform = FaaSPlatform(env.engine, FAAS_BASE_IMAGE)
     sim = env.sim
@@ -329,6 +476,9 @@ def run_functions(config, dense=True, cores=8, scale=1.0, use_cache=True):
                        sum(bringups) / len(bringups), exec_mean, result)
     if use_cache:
         _RUN_CACHE[key] = run
+        if _DISK_CACHE is not None and not result.coherence_violations:
+            _DISK_CACHE.store(key_data, summarize_functions_run(
+                run, cores, scale))
     return run
 
 

@@ -10,11 +10,15 @@ tables, while BabelFish keeps a single copy.
 """
 
 from repro.experiments.common import config_by_name, pct_reduction, run_app
+from repro.experiments.runner import density_matrix, execute
 from repro.kernel.frames import FrameKind
 
 
 def run_density_sweep(app="mongodb", cores=2, scale=0.35,
-                      densities=(2, 4, 6)):
+                      densities=(2, 4, 6), jobs=1):
+    if jobs > 1:
+        execute(density_matrix(app=app, cores=cores, scale=scale,
+                               densities=densities), jobs=jobs)
     rows = []
     for per_core in densities:
         base = run_app(app, config_by_name("Baseline"), cores=cores,

@@ -6,6 +6,7 @@ in by a different process — as a fraction of all L2 TLB hits.
 """
 
 from repro.experiments.common import config_by_name, run_app, run_functions
+from repro.experiments.runner import execute, fig11_matrix
 from repro.workloads.profiles import COMPUTE_APPS, SERVING_APPS
 
 
@@ -27,9 +28,13 @@ def _mpki_row(app, base_stats, bf_stats):
     }
 
 
-def run_fig10(cores=8, scale=1.0, apps=None):
+def run_fig10(cores=8, scale=1.0, apps=None, jobs=1):
     """Rows for Figures 10a and 10b (one row per workload)."""
     apps = apps or (SERVING_APPS + COMPUTE_APPS)
+    if jobs > 1:
+        # Figure 10 reads the same Baseline/BabelFish runs as Figure 11;
+        # prefetch them in parallel, then assemble rows from the cache.
+        execute(fig11_matrix(cores=cores, scale=scale), jobs=jobs)
     rows = []
     for app in apps:
         base = run_app(app, config_by_name("Baseline"), cores=cores,

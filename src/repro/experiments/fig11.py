@@ -12,6 +12,7 @@ from repro.experiments.common import (
     run_app,
     run_functions,
 )
+from repro.experiments.runner import execute, fig11_matrix
 from repro.workloads.profiles import COMPUTE_APPS, FUNCTION_NAMES, SERVING_APPS
 
 
@@ -64,7 +65,10 @@ def function_rows(cores=8, scale=1.0, config_name="BabelFish"):
     return rows
 
 
-def run_fig11(cores=8, scale=1.0, config_name="BabelFish"):
+def run_fig11(cores=8, scale=1.0, config_name="BabelFish", jobs=1):
+    if jobs > 1:
+        execute(fig11_matrix(cores=cores, scale=scale,
+                             config_name=config_name), jobs=jobs)
     return {
         "serving": serving_rows(cores, scale, config_name),
         "compute": compute_rows(cores, scale, config_name),

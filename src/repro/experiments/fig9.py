@@ -21,8 +21,10 @@ from repro.experiments.common import (
     build_environment,
     config_by_name,
     deploy_app,
+    disk_cache,
     run_functions,
 )
+from repro.experiments.runner import parallel_map
 from repro.workloads.profiles import APP_PROFILES, SERVING_APPS, COMPUTE_APPS
 
 
@@ -111,6 +113,20 @@ def classify_processes(procs, lru):
     return counts
 
 
+def _cached_row(key_data, compute):
+    """Figure 9 rows are pure (app, scale) functions of plain counts, so
+    they persist in the disk run cache like measured runs do."""
+    cache = disk_cache()
+    if cache is not None:
+        payload = cache.load(key_data)
+        if payload is not None:
+            return Fig9Row(**payload)
+    row = compute()
+    if cache is not None:
+        cache.store(key_data, dataclasses.asdict(row))
+    return row
+
+
 def run_fig9_app(app_name, scale=1.0):
     """Figure 9 for one serving/compute app: 2 containers on one core.
 
@@ -118,34 +134,49 @@ def run_fig9_app(app_name, scale=1.0):
     measurement: the paper's native 5-minute Pagemap measurement sees the
     whole run, so the LRU state accumulates across both phases.
     """
-    profile = APP_PROFILES[app_name]
-    env = build_environment(config_by_name("Baseline"), cores=1)
-    deployment = deploy_app(env, profile)
-    requests = max(2, int(profile.requests * scale))
-    for container in deployment.containers:
-        env.sim.attach(container.proc,
-                       _make_trace(profile, container.index, requests,
-                                   tag=False),
-                       container.core)
-    env.sim.run()
-    procs = [c.proc for c in deployment.containers]
-    return Fig9Row(app=app_name, **classify_processes(procs, env.kernel.lru))
+    def compute():
+        profile = APP_PROFILES[app_name]
+        env = build_environment(config_by_name("Baseline"), cores=1)
+        deployment = deploy_app(env, profile)
+        requests = max(2, int(profile.requests * scale))
+        for container in deployment.containers:
+            env.sim.attach(container.proc,
+                           _make_trace(profile, container.index, requests,
+                                       tag=False),
+                           container.core)
+        env.sim.run()
+        procs = [c.proc for c in deployment.containers]
+        return Fig9Row(app=app_name,
+                       **classify_processes(procs, env.kernel.lru))
+
+    return _cached_row({"kind": "fig9-app", "app": app_name, "scale": scale},
+                       compute)
 
 
 def run_fig9_functions(scale=1.0):
     """Figure 9 for the three function containers (one core)."""
-    run = run_functions(config_by_name("Baseline"), dense=True, cores=1,
-                        scale=scale, use_cache=False)
-    procs = [containers[0].proc for containers in run.containers.values()]
-    return Fig9Row(app="functions",
-                   **classify_processes(procs, run.env.kernel.lru))
+    def compute():
+        run = run_functions(config_by_name("Baseline"), dense=True, cores=1,
+                            scale=scale, use_cache=False)
+        procs = [containers[0].proc
+                 for containers in run.containers.values()]
+        return Fig9Row(app="functions",
+                       **classify_processes(procs, run.env.kernel.lru))
+
+    return _cached_row({"kind": "fig9-functions", "scale": scale}, compute)
 
 
-def run_fig9(scale=1.0, apps=None):
+def _fig9_task(task):
+    app, scale = task
+    if app == "functions":
+        return run_fig9_functions(scale=scale)
+    return run_fig9_app(app, scale=scale)
+
+
+def run_fig9(scale=1.0, apps=None, jobs=1):
     apps = apps or (SERVING_APPS + COMPUTE_APPS)
-    rows = [run_fig9_app(app, scale=scale) for app in apps]
-    rows.append(run_fig9_functions(scale=scale))
-    return rows
+    tasks = [(app, scale) for app in apps] + [("functions", scale)]
+    return parallel_map(_fig9_task, tasks, jobs=jobs)
 
 
 def summarize(rows):

@@ -13,10 +13,14 @@ from repro.experiments.fig11 import (
     serving_rows,
     summarize,
 )
+from repro.experiments.runner import execute, fig11_matrix
 
 
-def run_larger_tlb(cores=8, scale=1.0):
+def run_larger_tlb(cores=8, scale=1.0, jobs=1):
     """Figure-11-style reductions for the BigTLB configuration."""
+    if jobs > 1:
+        execute(fig11_matrix(cores=cores, scale=scale,
+                             config_name="BigTLB"), jobs=jobs)
     return {
         "serving": serving_rows(cores, scale, config_name="BigTLB"),
         "compute": compute_rows(cores, scale, config_name="BigTLB"),
@@ -24,9 +28,12 @@ def run_larger_tlb(cores=8, scale=1.0):
     }
 
 
-def run_comparison(cores=8, scale=1.0):
+def run_comparison(cores=8, scale=1.0, jobs=1):
     """Side-by-side: BigTLB vs full BabelFish (both vs Baseline)."""
     from repro.experiments.fig11 import run_fig11
+    if jobs > 1:
+        execute(fig11_matrix(cores=cores, scale=scale, config_name="BigTLB")
+                + fig11_matrix(cores=cores, scale=scale), jobs=jobs)
     bigtlb = summarize(run_larger_tlb(cores, scale))
     babelfish = summarize(run_fig11(cores, scale))
     rows = []

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     config_by_name,
     pct_reduction,
 )
+from repro.experiments.runner import parallel_map
 from repro.containers.image import align_pages
 from repro.kernel.vma import SegmentKind, VMAKind
 from repro.workloads.profiles import APP_PROFILES
@@ -78,26 +79,35 @@ def _run_mix(config, pairs, cores, scale):
     return result, env
 
 
-def run_mixed_colocation(cores=4, scale=0.5, app_a="mongodb",
-                         app_b="httpd"):
-    """Compare BabelFish's gains under same-app vs mixed-app co-location."""
+def _scenario_pairs(label, cores, app_a, app_b):
     profile_a = APP_PROFILES[app_a]
     profile_b = APP_PROFILES[app_b]
-    rows = []
-    scenarios = {
-        "same-app": {core: ((profile_a, profile_a) if core % 2 == 0
-                            else (profile_b, profile_b))
-                     for core in range(cores)},
-        "mixed": {core: (profile_a, profile_b) for core in range(cores)},
+    if label == "same-app":
+        return {core: ((profile_a, profile_a) if core % 2 == 0
+                       else (profile_b, profile_b))
+                for core in range(cores)}
+    return {core: (profile_a, profile_b) for core in range(cores)}
+
+
+def _scenario_row(task):
+    """One scenario's Baseline/BabelFish pair; module-level and built
+    from plain values so scenarios can fan out across pool workers."""
+    label, cores, scale, app_a, app_b = task
+    pairs = _scenario_pairs(label, cores, app_a, app_b)
+    base, _env = _run_mix(config_by_name("Baseline"), pairs, cores, scale)
+    bf, env = _run_mix(config_by_name("BabelFish"), pairs, cores, scale)
+    return {
+        "scenario": label,
+        "mean_reduction_pct": round(pct_reduction(
+            base.mean_latency, bf.mean_latency), 2),
+        "shared_hits": round(bf.stats.shared_hit_fraction(), 3),
+        "ccid_groups": len(env.registry),
     }
-    for label, pairs in scenarios.items():
-        base, _env = _run_mix(config_by_name("Baseline"), pairs, cores, scale)
-        bf, env = _run_mix(config_by_name("BabelFish"), pairs, cores, scale)
-        rows.append({
-            "scenario": label,
-            "mean_reduction_pct": round(pct_reduction(
-                base.mean_latency, bf.mean_latency), 2),
-            "shared_hits": round(bf.stats.shared_hit_fraction(), 3),
-            "ccid_groups": len(env.registry),
-        })
-    return rows
+
+
+def run_mixed_colocation(cores=4, scale=0.5, app_a="mongodb",
+                         app_b="httpd", jobs=1):
+    """Compare BabelFish's gains under same-app vs mixed-app co-location."""
+    tasks = [(label, cores, scale, app_a, app_b)
+             for label in ("same-app", "mixed")]
+    return parallel_map(_scenario_row, tasks, jobs=jobs)

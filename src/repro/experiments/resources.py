@@ -29,7 +29,11 @@ def analytic_space_overhead():
 def measured_space_overhead(cores=2, scale=0.4):
     """Live measurement from a BabelFish run: MaskPages and counters
     actually allocated vs page-table pages in use. Uses the FaaS run,
-    whose bring-up CoW writes exercise the MaskPage machinery."""
+    whose bring-up CoW writes exercise the MaskPage machinery.
+
+    Reads only the kernel accounting preserved by the run cache's
+    summaries (frame counts, policy registry size), so a disk-cached run
+    answers it without re-simulating."""
     from repro.experiments.common import run_functions
     run = run_functions(config_by_name("BabelFish"), dense=True,
                         cores=cores, scale=scale)
@@ -49,12 +53,12 @@ def measured_space_overhead(cores=2, scale=0.4):
     }
 
 
-def run_resources(include_measured=True):
+def run_resources(include_measured=True, cores=2, scale=0.4):
     out = {
         "core_area_overhead_pct": round(core_area_overhead_pct(True), 3),
         "core_area_overhead_no_pc_pct": round(core_area_overhead_pct(False), 3),
     }
     out.update(analytic_space_overhead())
     if include_measured:
-        out["measured"] = measured_space_overhead()
+        out["measured"] = measured_space_overhead(cores=cores, scale=scale)
     return out

@@ -1,0 +1,278 @@
+"""Parallel experiment runner: fan independent runs out across workers.
+
+The reproduction's figures and tables are computed from ~a dozen
+independent ``run_app``/``run_functions`` invocations.  Each run builds
+its own kernel/simulator and draws all randomness from seeds derived
+from the request itself (container index, profile, seed offsets), so
+runs are pure functions of their :class:`RunRequest` — executing them in
+a ``ProcessPoolExecutor`` is bit-identical to executing them
+sequentially, in any order.
+
+``execute(requests, jobs=N)`` resolves each request against the
+in-memory memo and the persistent disk cache first, ships only the
+misses to workers, and seeds both caches with the returned summaries so
+the experiment harnesses (which call ``run_app`` afterwards) hit warm
+caches.  ``parallel_map`` is the same machinery for experiment helpers
+that are not ``run_app``-shaped but still pure and picklable (Figure 9
+rows, mixed-colocation scenarios).
+
+Worker processes install the parent's disk cache (same directory, same
+code fingerprint) before running, so a parallel sweep persists its
+results exactly like a sequential one.
+"""
+
+import concurrent.futures
+import dataclasses
+import time
+
+from repro.experiments import common, runcache
+from repro.experiments.runcache import DiskRunCache
+from repro.workloads.profiles import COMPUTE_APPS, SERVING_APPS
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRequest:
+    """One cacheable unit of simulation work.
+
+    ``kind`` is ``"app"`` (serving/compute, needs ``app``) or
+    ``"functions"`` (the FaaS experiment, uses ``dense``).  ``overrides``
+    are ``SimConfig`` field overrides applied on top of the named config
+    builder, as a sorted tuple of pairs so requests stay hashable.
+    """
+
+    kind: str
+    app: str = None
+    config_name: str = "Baseline"
+    overrides: tuple = ()
+    cores: int = 8
+    scale: float = 1.0
+    containers_per_core: int = None
+    dense: bool = True
+
+    def config(self):
+        return common.config_by_name(self.config_name,
+                                     **dict(self.overrides))
+
+    def label(self):
+        parts = ["functions" if self.kind == "functions" else self.app,
+                 self.config_name]
+        if self.overrides:
+            parts.append(",".join("%s=%s" % (k, v)
+                                  for k, v in self.overrides))
+        if self.kind == "functions":
+            parts.append("dense" if self.dense else "sparse")
+        parts.append("cores=%d" % self.cores)
+        parts.append("scale=%g" % self.scale)
+        if self.containers_per_core is not None:
+            parts.append("cpc=%d" % self.containers_per_core)
+        return " ".join(parts)
+
+
+def request_overrides(**overrides):
+    """Overrides dict -> canonical tuple for :class:`RunRequest`."""
+    return tuple(sorted(overrides.items()))
+
+
+# -- run matrices -------------------------------------------------------------------
+
+
+def fig11_matrix(cores=8, scale=1.0, config_name="BabelFish"):
+    """Baseline + ``config_name`` for every workload — the run set behind
+    Figures 10/11, Table II's two-config slice, and bring-up."""
+    requests = []
+    for app in SERVING_APPS + COMPUTE_APPS:
+        for name in ("Baseline", config_name):
+            requests.append(RunRequest(kind="app", app=app, config_name=name,
+                                       cores=cores, scale=scale))
+    for dense in (True, False):
+        for name in ("Baseline", config_name):
+            requests.append(RunRequest(kind="functions", config_name=name,
+                                       dense=dense, cores=cores, scale=scale))
+    return requests
+
+
+def table2_matrix(cores=8, scale=1.0):
+    requests = []
+    for app in SERVING_APPS + COMPUTE_APPS:
+        for name in ("Baseline", "BabelFish-PT", "BabelFish"):
+            requests.append(RunRequest(kind="app", app=app, config_name=name,
+                                       cores=cores, scale=scale))
+    for dense in (True, False):
+        for name in ("Baseline", "BabelFish-PT", "BabelFish"):
+            requests.append(RunRequest(kind="functions", config_name=name,
+                                       dense=dense, cores=cores, scale=scale))
+    return requests
+
+
+def bringup_matrix(cores=8, scale=1.0):
+    return [RunRequest(kind="functions", config_name=name, dense=True,
+                       cores=cores, scale=scale)
+            for name in ("Baseline", "BabelFish")]
+
+
+def density_matrix(app="mongodb", cores=2, scale=0.35, densities=(2, 4, 6)):
+    return [RunRequest(kind="app", app=app, config_name=name, cores=cores,
+                       scale=scale, containers_per_core=per_core)
+            for per_core in densities
+            for name in ("Baseline", "BabelFish")]
+
+
+def report_matrix(cores=8, scale=1.0):
+    """Every cacheable run ``python -m repro.report`` needs."""
+    return fig11_matrix(cores=cores, scale=scale)
+
+
+# -- execution ----------------------------------------------------------------------
+
+
+def _cached_run(request):
+    """Memory- or disk-cached run for ``request``, or None."""
+    config = request.config()
+    if request.kind == "functions":
+        key = ("functions", common.config_cache_key(config), request.dense,
+               request.cores, request.scale)
+    else:
+        key = ("app", request.app, common.config_cache_key(config),
+               request.cores, request.scale, request.containers_per_core)
+    run = common._RUN_CACHE.get(key)
+    if run is not None:
+        return run
+    cache = common.disk_cache()
+    if cache is None:
+        return None
+    if request.kind == "functions":
+        payload = cache.load(runcache.functions_key_data(
+            config, request.dense, request.cores, request.scale))
+        if payload is None:
+            return None
+        return common.remember_functions_run(
+            common.rehydrate_functions_run(payload), request.cores,
+            request.scale)
+    payload = cache.load(runcache.app_key_data(
+        request.app, config, request.cores, request.scale,
+        request.containers_per_core))
+    if payload is None:
+        return None
+    return common.remember_app_run(
+        common.rehydrate_app_run(payload), request.cores, request.scale,
+        request.containers_per_core)
+
+
+def run_request(request):
+    """Execute one request in this process (through both cache layers)."""
+    if request.kind == "functions":
+        return common.run_functions(request.config(), dense=request.dense,
+                                    cores=request.cores, scale=request.scale)
+    return common.run_app(request.app, request.config(), cores=request.cores,
+                          scale=request.scale,
+                          containers_per_core=request.containers_per_core)
+
+
+def _init_worker(cache_root, fingerprint):
+    """Pool initializer: give the worker the parent's disk cache (workers
+    must not inherit in-memory state assumptions; with the ``spawn``
+    start method they inherit nothing at all)."""
+    if cache_root is not None:
+        common.set_disk_cache(DiskRunCache(cache_root,
+                                           fingerprint=fingerprint))
+
+
+def _worker_execute(request):
+    """Run a request in a worker and return its picklable summary."""
+    run = run_request(request)
+    if request.kind == "functions":
+        return common.summarize_functions_run(run, request.cores,
+                                              request.scale)
+    return common.summarize_app_run(run, request.cores, request.scale,
+                                    request.containers_per_core)
+
+
+def _install_summary(request, summary):
+    if request.kind == "functions":
+        return common.remember_functions_run(
+            common.rehydrate_functions_run(summary), request.cores,
+            request.scale)
+    return common.remember_app_run(
+        common.rehydrate_app_run(summary), request.cores, request.scale,
+        request.containers_per_core)
+
+
+def _pool(jobs):
+    cache = common.disk_cache()
+    root = str(cache.root) if cache is not None else None
+    fingerprint = cache.fingerprint if cache is not None else None
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker,
+        initargs=(root, fingerprint))
+
+
+def execute(requests, jobs=1, progress=None):
+    """Resolve ``requests`` through the caches, simulating each distinct
+    miss once with ``jobs`` workers.
+
+    Returns the list of runs aligned with ``requests`` (duplicates get
+    the same run object), and leaves every run seeded in the in-memory
+    memo (and, when a disk cache is installed, persisted) so subsequent
+    ``run_app`` / ``run_functions`` calls are hits.
+    """
+    unique = list(dict.fromkeys(requests))
+    runs = {}
+    pending = []
+    for request in unique:
+        run = _cached_run(request)
+        if run is not None:
+            runs[request] = run
+            if progress:
+                progress("[cached] %s" % request.label())
+        else:
+            pending.append(request)
+
+    total = len(pending)
+    if total and (jobs <= 1 or total == 1):
+        for index, request in enumerate(pending):
+            started = time.time()
+            runs[request] = run_request(request)
+            if progress:
+                progress("[%d/%d] %s  %.1fs"
+                         % (index + 1, total, request.label(),
+                            time.time() - started))
+    elif total:
+        with _pool(jobs) as pool:
+            futures = {pool.submit(_worker_execute, request): request
+                       for request in pending}
+            done = 0
+            for future in concurrent.futures.as_completed(futures):
+                request = futures[future]
+                runs[request] = _install_summary(request, future.result())
+                done += 1
+                if progress:
+                    progress("[%d/%d] %s" % (done, total, request.label()))
+    return [runs[request] for request in requests]
+
+
+def parallel_map(fn, items, jobs=1, progress=None):
+    """Order-preserving map over pure, picklable work items.
+
+    ``fn`` must be a module-level function.  With ``jobs <= 1`` this is a
+    plain loop; otherwise items run across a process pool whose workers
+    share the parent's disk cache.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        results = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            if progress:
+                progress("[%d/%d] done" % (index + 1, len(items)))
+        return results
+    results = [None] * len(items)
+    with _pool(jobs) as pool:
+        futures = {pool.submit(fn, item): index
+                   for index, item in enumerate(items)}
+        done = 0
+        for future in concurrent.futures.as_completed(futures):
+            results[futures[future]] = future.result()
+            done += 1
+            if progress:
+                progress("[%d/%d] done" % (done, len(items)))
+    return results

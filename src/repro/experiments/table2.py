@@ -15,6 +15,7 @@ reproduced shape.
 """
 
 from repro.experiments.common import config_by_name, run_app, run_functions
+from repro.experiments.runner import execute, table2_matrix
 from repro.workloads.profiles import COMPUTE_APPS, FUNCTION_NAMES, SERVING_APPS
 
 
@@ -25,7 +26,9 @@ def _fraction(base, pt_only, full):
     return max(-1.0, min(1.0, (pt_only - full) / total))
 
 
-def run_table2(cores=8, scale=1.0):
+def run_table2(cores=8, scale=1.0, jobs=1):
+    if jobs > 1:
+        execute(table2_matrix(cores=cores, scale=scale), jobs=jobs)
     rows = []
     for app in SERVING_APPS + COMPUTE_APPS:
         runs = {name: run_app(app, config_by_name(name), cores=cores,

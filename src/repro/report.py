@@ -4,6 +4,11 @@ Runs a compact version of every experiment and prints a single-page
 paper-vs-measured summary. ``--quick`` shrinks cores and scale for a
 ~1-minute pass; the default takes a few minutes (the full benchmark
 harness under ``benchmarks/`` remains the canonical reproduction).
+
+``--jobs N`` fans the independent runs out across N worker processes
+(results are bit-identical to ``--jobs 1``); runs are memoized on disk
+under ``benchmarks/out/runcache/`` so a repeated invocation at the same
+cores/scale reuses every measurement (``--no-disk-cache`` opts out).
 """
 
 import argparse
@@ -11,11 +16,15 @@ import sys
 import time
 
 from repro.experiments import clear_run_cache
+from repro.experiments.__main__ import resolve_scale_args
 from repro.experiments.bringup import run_bringup
+from repro.experiments.common import set_disk_cache
 from repro.experiments.fig9 import run_fig9, summarize as fig9_summary
 from repro.experiments.fig11 import run_fig11, summarize as fig11_summary
 from repro.experiments.paper_values import FIG9, FIG11, HEADLINE, RESOURCES
 from repro.experiments.resources import run_resources
+from repro.experiments.runcache import DiskRunCache
+from repro.experiments.runner import execute, report_matrix
 from repro.experiments.table3 import run_table3
 
 
@@ -26,18 +35,56 @@ def _row(label, paper, measured, unit="%"):
         "-" if measured is None else ("%.1f%s" % (measured, unit)))
 
 
-def main(argv=None):
+def build_parser():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small cores/scale (~1 minute)")
     parser.add_argument("--cores", type=int, default=None)
     parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                             "(default 1; results are identical)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="disk run-cache directory (default "
+                             "benchmarks/out/runcache)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="do not persist/reuse run summaries on disk")
+    return parser
+
+
+def parse_args(argv=None):
+    """Parsed + validated args; explicit ``--cores 0``/``--scale 0`` are
+    argparse errors rather than silent fallbacks to the defaults."""
+    parser = build_parser()
     args = parser.parse_args(argv)
-    cores = args.cores or (2 if args.quick else 8)
-    scale = args.scale or (0.25 if args.quick else 1.0)
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer (got %d)" % args.jobs)
+    args.cores, args.scale = resolve_scale_args(parser, args)
+    return args
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    cores, scale = args.cores, args.scale
 
     started = time.time()
     clear_run_cache()
+    previous_cache = None
+    if not args.no_disk_cache:
+        previous_cache = set_disk_cache(DiskRunCache(args.cache_dir))
+    try:
+        return _report(args, cores, scale, started)
+    finally:
+        # Restore for in-process callers (tests); a no-op for the CLI.
+        if not args.no_disk_cache:
+            set_disk_cache(previous_cache)
+
+
+def _report(args, cores, scale, started):
+    if args.jobs > 1:
+        # Prefetch the full run matrix in parallel; the sections below
+        # then read everything out of the warm cache.
+        execute(report_matrix(cores=cores, scale=scale), jobs=args.jobs)
     print("BabelFish reproduction report (cores=%d, scale=%.2f)"
           % (cores, scale))
     if scale < 1.0:
@@ -47,7 +94,7 @@ def main(argv=None):
     print()
 
     print("Figure 9 — translation shareability")
-    fig9 = fig9_summary(run_fig9(scale=scale))
+    fig9 = fig9_summary(run_fig9(scale=scale, jobs=args.jobs))
     print(_row("shareable fraction, containerized",
                100 * FIG9["avg_shareable_fraction"],
                100 * fig9["avg_shareable_fraction"]))

@@ -38,11 +38,14 @@ def compute_trace(profile, container_index, iterations=None, seed_offset=0):
     for _ in range(iterations):
         for _ in range(ifetches):
             page = code_zipf.next()
+            # Images with no binary (or library) mapping have no pages to
+            # fetch from that segment; skip rather than modulo by zero.
             if page < profile.code_hot:
-                yield (K_IFETCH, SegmentKind.CODE,
-                       page % profile.image.binary_pages,
-                       rng.randrange(64), gap, None)
-            else:
+                if profile.image.binary_pages:
+                    yield (K_IFETCH, SegmentKind.CODE,
+                           page % profile.image.binary_pages,
+                           rng.randrange(64), gap, None)
+            elif profile.image.lib_pages:
                 yield (K_IFETCH, SegmentKind.LIBS,
                        (page - profile.code_hot) % profile.image.lib_pages,
                        rng.randrange(64), gap, None)

@@ -39,11 +39,14 @@ def serving_trace(profile, container_index, requests=None, request_base=0,
         rid = request.request_id if tag_requests else None
         for _ in range(ifetches):
             page = code_zipf.next()
+            # Images with no binary (or library) mapping have no pages to
+            # fetch from that segment; skip rather than modulo by zero.
             if page < profile.code_hot:
-                yield (K_IFETCH, SegmentKind.CODE,
-                       page % profile.image.binary_pages,
-                       rng.randrange(64), gap, rid)
-            else:
+                if profile.image.binary_pages:
+                    yield (K_IFETCH, SegmentKind.CODE,
+                           page % profile.image.binary_pages,
+                           rng.randrange(64), gap, rid)
+            elif profile.image.lib_pages:
                 yield (K_IFETCH, SegmentKind.LIBS,
                        (page - profile.code_hot) % profile.image.lib_pages,
                        rng.randrange(64), gap, rid)

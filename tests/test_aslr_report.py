@@ -88,10 +88,12 @@ class TestAsciiCharts:
 
 
 class TestReportCLI:
-    def test_arg_parsing_and_quick_run(self, capsys):
+    def test_arg_parsing_and_quick_run(self, capsys, tmp_path):
         from repro.report import main
-        # Tiny run to exercise the whole code path.
-        code = main(["--cores", "1", "--scale", "0.05"])
+        # Tiny run to exercise the whole code path; cache to tmp so the
+        # test never touches benchmarks/out/runcache.
+        code = main(["--cores", "1", "--scale", "0.05",
+                     "--cache-dir", str(tmp_path)])
         out = capsys.readouterr().out
         assert code == 0
         assert "Figure 11" in out

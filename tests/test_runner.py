@@ -1,0 +1,291 @@
+"""Run-cache keying, the disk run cache, and the parallel runner.
+
+The headline regression here: configs built via ``config_by_name(name,
+**overrides)`` share ``config.name`` with the stock config, and the old
+name-based cache key silently returned the stock config's run for them.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.containers.image import ContainerImage
+from repro.experiments.common import (
+    build_environment,
+    clear_run_cache,
+    config_by_name,
+    config_cache_key,
+    deploy_app,
+    run_app,
+    run_functions,
+    set_disk_cache,
+    simulation_run_count,
+)
+from repro.experiments.runcache import (
+    DiskRunCache,
+    config_field_dict,
+    config_from_fields,
+)
+from repro.experiments.runner import (
+    RunRequest,
+    execute,
+    fig11_matrix,
+    parallel_map,
+    report_matrix,
+    request_overrides,
+)
+from repro.workloads.profiles import APP_PROFILES
+
+SMALL = dict(cores=1, scale=0.08)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Every test starts from empty caches and leaves none installed."""
+    previous = set_disk_cache(None)
+    clear_run_cache()
+    yield
+    set_disk_cache(previous)
+    clear_run_cache()
+
+
+class TestConfigKeying:
+    def test_same_name_different_fields_distinct_keys(self):
+        stock = config_by_name("Baseline")
+        tweaked = config_by_name("Baseline", thp_enabled=False)
+        assert stock.name == tweaked.name
+        assert config_cache_key(stock) != config_cache_key(tweaked)
+
+    def test_costs_fields_participate(self):
+        from repro.kernel.costs import KernelCosts
+        stock = config_by_name("Baseline")
+        tweaked = config_by_name("Baseline",
+                                 costs=KernelCosts(minor_fault=9999))
+        assert config_cache_key(stock) != config_cache_key(tweaked)
+
+    def test_same_name_configs_do_not_share_runs(self):
+        """Regression: the old key used config.name only, so the second
+        call below returned the first call's run."""
+        before = simulation_run_count()
+        stock = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        tweaked = run_app("httpd", config_by_name("Baseline",
+                                                  thp_enabled=False), **SMALL)
+        assert stock is not tweaked
+        assert simulation_run_count() == before + 2
+        assert tweaked.config.thp_enabled is False
+
+    def test_identical_configs_still_share(self):
+        before = simulation_run_count()
+        first = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        again = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert again is first
+        assert simulation_run_count() == before + 1
+
+    def test_functions_keyed_on_fields(self):
+        stock = config_by_name("BabelFish")
+        tweaked = config_by_name("BabelFish", orpc_enabled=False)
+        key = ("functions", config_cache_key(stock), True, 1, 0.08)
+        other = ("functions", config_cache_key(tweaked), True, 1, 0.08)
+        assert key != other
+
+    def test_config_roundtrip_through_field_dict(self):
+        config = config_by_name("BabelFish", orpc_enabled=False,
+                                pc_bitmask_bits=8)
+        rebuilt = config_from_fields(config_field_dict(config))
+        assert rebuilt == config
+        assert config_cache_key(rebuilt) == config_cache_key(config)
+
+
+class TestReportArgs:
+    def test_explicit_zero_cores_errors(self):
+        from repro import report
+        with pytest.raises(SystemExit) as excinfo:
+            report.parse_args(["--cores", "0"])
+        assert excinfo.value.code == 2
+
+    def test_explicit_zero_scale_errors(self):
+        from repro import report
+        with pytest.raises(SystemExit) as excinfo:
+            report.parse_args(["--scale", "0"])
+        assert excinfo.value.code == 2
+
+    def test_negative_jobs_errors(self):
+        from repro import report
+        with pytest.raises(SystemExit):
+            report.parse_args(["--jobs", "0"])
+
+    def test_quick_defaults(self):
+        from repro import report
+        args = report.parse_args(["--quick"])
+        assert args.cores == 2
+        assert args.scale == 0.25
+
+    def test_explicit_values_respected(self):
+        from repro import report
+        args = report.parse_args(["--quick", "--cores", "1",
+                                  "--scale", "0.5"])
+        assert args.cores == 1
+        assert args.scale == 0.5
+
+
+class TestWarmupEdgeCases:
+    def test_zero_binary_and_lib_pages(self):
+        """Regression: _os_warmup computed ``page % image.binary_pages``
+        (and the lib equivalent), so an image with no binary or library
+        pages raised ZeroDivisionError even though there is simply no
+        code working set to warm."""
+        from repro.experiments.common import Deployment, _os_warmup
+        env = build_environment(config_by_name("Baseline"), cores=1)
+        deployment = deploy_app(env, APP_PROFILES["httpd"])
+        codeless = dataclasses.replace(
+            deployment.profile,
+            image=dataclasses.replace(deployment.profile.image,
+                                      binary_pages=0, lib_pages=0))
+        assert codeless.code_hot and codeless.lib_hot
+        _os_warmup(env, Deployment(codeless, deployment.group,
+                                   deployment.containers,
+                                   deployment.dataset_file))
+
+
+class TestDiskCache:
+    def test_hit_skips_simulation_and_preserves_summary(self, tmp_path):
+        set_disk_cache(DiskRunCache(tmp_path, fingerprint="fp-a"))
+        before = simulation_run_count()
+        live = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert simulation_run_count() == before + 1
+        clear_run_cache()
+        cached = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert simulation_run_count() == before + 1  # no re-simulation
+        assert cached is not live
+        assert cached.result.stats.as_dict() == live.result.stats.as_dict()
+        assert cached.result.request_latency == live.result.request_latency
+        assert cached.result.mean_latency == live.result.mean_latency
+
+    def test_kernel_snapshot_survives(self, tmp_path):
+        from repro.kernel.frames import FrameKind
+        set_disk_cache(DiskRunCache(tmp_path, fingerprint="fp-a"))
+        live = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        live_tables = live.env.kernel.allocator.count(FrameKind.PAGE_TABLE)
+        clear_run_cache()
+        cached = run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert (cached.env.kernel.allocator.count(FrameKind.PAGE_TABLE)
+                == live_tables)
+
+    def test_functions_roundtrip(self, tmp_path):
+        set_disk_cache(DiskRunCache(tmp_path, fingerprint="fp-a"))
+        before = simulation_run_count()
+        live = run_functions(config_by_name("BabelFish"), dense=True, **SMALL)
+        clear_run_cache()
+        cached = run_functions(config_by_name("BabelFish"), dense=True,
+                               **SMALL)
+        assert simulation_run_count() == before + 1
+        assert cached.bringup_cycles == live.bringup_cycles
+        assert cached.exec_cycles == live.exec_cycles
+
+    def test_code_fingerprint_invalidates(self, tmp_path):
+        set_disk_cache(DiskRunCache(tmp_path, fingerprint="fp-a"))
+        before = simulation_run_count()
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert simulation_run_count() == before + 1
+        # Same cache dir, new code fingerprint: entry no longer matches.
+        set_disk_cache(DiskRunCache(tmp_path, fingerprint="fp-b"))
+        clear_run_cache()
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert simulation_run_count() == before + 2
+
+    def test_distinct_configs_distinct_entries(self, tmp_path):
+        cache = DiskRunCache(tmp_path, fingerprint="fp-a")
+        set_disk_cache(cache)
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        run_app("httpd", config_by_name("Baseline", thp_enabled=False),
+                **SMALL)
+        assert len(cache.entries()) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskRunCache(tmp_path, fingerprint="fp-a")
+        set_disk_cache(cache)
+        before = simulation_run_count()
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        for path in cache.entries():
+            path.write_text("{ not json")
+        clear_run_cache()
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert simulation_run_count() == before + 2
+
+    def test_clear(self, tmp_path):
+        cache = DiskRunCache(tmp_path, fingerprint="fp-a")
+        set_disk_cache(cache)
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+def _result_signature(run):
+    """Everything the report reads off a result. Pid-keyed maps compare
+    by value sequence: pids depend on process history, the cycles don't."""
+    result = run.result
+    return (result.stats.as_dict(), sorted(result.request_latency.items()),
+            sorted(result.core_cycles.items()),
+            [v for _k, v in sorted(result.process_cycles.items())],
+            [v for _k, v in sorted(result.completion_cycles.items())])
+
+
+class TestParallelRunner:
+    MATRIX = [
+        RunRequest(kind="app", app="httpd", config_name="Baseline", **SMALL),
+        RunRequest(kind="app", app="httpd", config_name="BabelFish", **SMALL),
+        RunRequest(kind="functions", config_name="Baseline", dense=True,
+                   **SMALL),
+        RunRequest(kind="functions", config_name="BabelFish", dense=True,
+                   **SMALL),
+    ]
+
+    def test_parallel_equals_sequential(self):
+        sequential = execute(self.MATRIX, jobs=1)
+        signatures = [_result_signature(run) for run in sequential]
+        clear_run_cache()
+        parallel = execute(self.MATRIX, jobs=2)
+        assert [_result_signature(run) for run in parallel] == signatures
+
+    def test_execute_seeds_run_cache(self):
+        before = simulation_run_count()
+        execute(self.MATRIX[:2], jobs=2)
+        # The harness path (run_app) must now hit the seeded memo without
+        # simulating in this process.
+        run_app("httpd", config_by_name("Baseline"), **SMALL)
+        run_app("httpd", config_by_name("BabelFish"), **SMALL)
+        assert simulation_run_count() == before
+
+    def test_parallel_workers_populate_disk_cache(self, tmp_path):
+        cache = DiskRunCache(tmp_path, fingerprint="fp-a")
+        set_disk_cache(cache)
+        execute(self.MATRIX[:2], jobs=2)
+        assert len(cache.entries()) == 2
+
+    def test_execute_deduplicates(self):
+        before = simulation_run_count()
+        runs = execute([self.MATRIX[0], self.MATRIX[0]], jobs=1)
+        assert len(runs) == 2
+        assert runs[0] is runs[1]
+        assert simulation_run_count() == before + 1
+
+    def test_overrides_reach_config(self):
+        request = RunRequest(kind="app", app="httpd",
+                             config_name="Baseline",
+                             overrides=request_overrides(thp_enabled=False),
+                             **SMALL)
+        assert request.config().thp_enabled is False
+
+    def test_matrices_cover_report(self):
+        matrix = report_matrix(cores=2, scale=0.25)
+        assert matrix == fig11_matrix(cores=2, scale=0.25)
+        apps = {r.app for r in matrix if r.kind == "app"}
+        assert len(apps) == 5
+        assert len(matrix) == len(set(matrix))
+
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+
+def _square(value):
+    return value * value
