@@ -4,9 +4,12 @@ The simulator is a strict stack. ``hw/`` models timing-free hardware
 structures and must know nothing about the kernel or the simulator driving
 it; ``core/`` (the BabelFish mechanisms) may build on ``hw/`` and
 ``kernel/`` but never on ``sim/``; ``workloads/`` generate traces and must
-not reach into ``hw/`` internals. Violations are how cross-layer
-shortcuts (a TLB peeking at kernel state, a workload tuned to a TLB
-geometry) sneak in and silently couple results to implementation details.
+not reach into ``hw/`` internals. ``obs/`` sits at the bottom of the DAG
+— pure instrumentation that may import nothing from ``repro`` — and only
+``sim/`` may import it (lower layers receive an injected ``tracer``
+attribute instead). Violations are how cross-layer shortcuts (a TLB
+peeking at kernel state, a workload tuned to a TLB geometry) sneak in
+and silently couple results to implementation details.
 """
 
 from repro.analysis.lint.engine import LintRule
@@ -15,11 +18,12 @@ from repro.analysis.lint.engine import LintRule
 #: Packages absent from the table (e.g. ``experiments``, top-level
 #: modules) are unconstrained.
 ALLOWED_IMPORTS = {
+    "obs": frozenset(),
     "hw": frozenset(),
     "kernel": frozenset({"hw"}),
     "core": frozenset({"hw", "kernel"}),
     "analysis": frozenset({"hw", "kernel", "core"}),
-    "sim": frozenset({"hw", "kernel", "core", "analysis"}),
+    "sim": frozenset({"hw", "kernel", "core", "analysis", "obs"}),
     "workloads": frozenset({"kernel", "core", "containers"}),
     "containers": frozenset({"hw", "kernel", "core"}),
 }

@@ -25,6 +25,17 @@ def entry_region(entry):
     return region_of(vpn4k)
 
 
+def hit_provenance(entry, proc):
+    """True when a hit lands on an entry another process inserted.
+
+    This is the Figure 10b "Shared Hits" predicate — the same
+    ``inserted_by != pid`` test :class:`repro.sim.stats.MMUStats` counts
+    ``l2_shared_hits_*`` with, shared here so trace events and counters
+    can never drift apart.
+    """
+    return entry.inserted_by != proc.pid
+
+
 @dataclasses.dataclass
 class LookupResult:
     entry: object            # TLBEntry or None

@@ -3,20 +3,27 @@
 ``run`` executes every cacheable run behind ``python -m repro.report``
 in parallel with progress lines, persisting summaries to the disk run
 cache so subsequent report/benchmark invocations are warm.  ``cache``
-inspects or clears that store.
+inspects or clears that store.  ``trace`` captures one fully traced run
+(:mod:`repro.obs`) into a directory of artifacts — ``trace.jsonl``,
+``trace.chrome.json`` (load in Perfetto / ``chrome://tracing``), and
+``summary.json`` — that ``python -m repro.obs`` summarizes and diffs.
 
     python -m repro.experiments run --quick --jobs 4
-    python -m repro.experiments cache
+    python -m repro.experiments trace --quick --out /tmp/obs-bf
     python -m repro.experiments cache --clear
 """
 
 import argparse
+import json
+import pathlib
 import sys
-import time
 
-from repro.experiments.common import set_disk_cache, simulation_run_count
+from repro.experiments.common import (config_by_name, run_app,
+                                      set_disk_cache, simulation_run_count)
 from repro.experiments.runcache import DiskRunCache, default_cache_dir
 from repro.experiments.runner import execute, report_matrix
+from repro.obs import (PhaseProfiler, format_summary, summarize,
+                       write_chrome_trace, write_jsonl)
 
 
 def _add_scale_args(parser):
@@ -60,6 +67,19 @@ def main(argv=None):
     run_parser.add_argument("--no-disk-cache", action="store_true",
                             help="keep results in memory only")
 
+    trace_parser = sub.add_parser(
+        "trace", help="capture one traced run (JSONL + Chrome trace)")
+    _add_scale_args(trace_parser)
+    trace_parser.add_argument("--app", default="mongodb",
+                              help="application to trace (default mongodb)")
+    trace_parser.add_argument("--config", default="BabelFish",
+                              help="config name (default BabelFish)")
+    trace_parser.add_argument("--out", default=None,
+                              help="capture directory (default "
+                                   "benchmarks/out/trace/<app>-<config>)")
+    trace_parser.add_argument("--top", type=int, default=10,
+                              help="hottest VPNs in the summary (default 10)")
+
     cache_parser = sub.add_parser("cache", help="inspect/clear the run cache")
     cache_parser.add_argument("--dir", default=None,
                               help="cache directory (default "
@@ -69,6 +89,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.command == "cache":
         return _cache_command(args)
+    if args.command == "trace":
+        return _trace_command(trace_parser, args)
     return _run_command(run_parser, args)
 
 
@@ -84,14 +106,60 @@ def _run_command(parser, args):
     matrix = report_matrix(cores=cores, scale=scale)
     print("executing %d runs (cores=%d scale=%.2f jobs=%d)"
           % (len(matrix), cores, scale, args.jobs))
-    started = time.time()
-    runs = execute(matrix, jobs=args.jobs, progress=print)
-    elapsed = time.time() - started
+    profiler = PhaseProfiler()
+    with profiler.span("execute") as span:
+        runs = execute(matrix, jobs=args.jobs, progress=print,
+                       profiler=profiler)
     simulated = (simulation_run_count() if args.jobs <= 1
                  else len(matrix) - (cache.hits if cache else 0))
     print("done: %d runs (%d simulated, %d cached) in %.1fs"
           % (len(runs), max(0, simulated), len(runs) - max(0, simulated),
-             elapsed))
+             span.seconds))
+    return 0
+
+
+def _trace_command(parser, args):
+    cores, scale = resolve_scale_args(parser, args)
+    out = pathlib.Path(args.out) if args.out else (
+        default_cache_dir().parent / "trace"
+        / ("%s-%s" % (args.app, args.config)))
+    profiler = PhaseProfiler()
+    config = config_by_name(args.config, trace=True)
+    print("tracing %s under %s (cores=%d scale=%.2f) -> %s"
+          % (args.app, args.config, cores, scale, out))
+    with profiler.span("simulate"):
+        # The cache stores only aggregate snapshots; the event ring lives
+        # on the live simulator, so a capture always runs fresh.
+        run = run_app(args.app, config, cores=cores, scale=scale,
+                      use_cache=False)
+    snapshot = run.result.obs
+    events = list(run.env.sim.tracer.events)
+    with profiler.span("export"):
+        out.mkdir(parents=True, exist_ok=True)
+        kept = write_jsonl(events, out / "trace.jsonl")
+        write_chrome_trace(events, out / "trace.chrome.json",
+                           metadata={"app": args.app, "config": args.config,
+                                     "cores": cores, "scale": scale})
+        # The summary carries the *dense-pid* snapshot (as_dict remaps
+        # raw pids to creation-order indices) so ``python -m repro.obs
+        # diff`` between two captures compares like with like; the raw
+        # pids survive in trace.jsonl, next to the events that carry them.
+        result_dict = run.result.as_dict()
+        capture = {
+            "app": args.app,
+            "config": args.config,
+            "cores": cores,
+            "scale": scale,
+            "obs": result_dict.pop("obs"),
+            "result": result_dict,
+        }
+        (out / "summary.json").write_text(
+            json.dumps(capture, indent=2, sort_keys=True) + "\n")
+    print(format_summary(summarize(snapshot, top=args.top)))
+    print("captured %d events (%d emitted, %d dropped) -> %s"
+          % (kept, snapshot["events_emitted"], snapshot["events_dropped"],
+             out))
+    print(profiler.summary_line())
     return 0
 
 

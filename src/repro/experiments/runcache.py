@@ -33,8 +33,9 @@ import pathlib
 from repro.core.aslr import ASLRMode
 from repro.kernel.costs import KernelCosts
 from repro.kernel.frames import FrameKind
+from repro.obs.tracer import TraceOptions
 from repro.sim.config import SimConfig
-from repro.sim.stats import MMUStats, RunResult
+from repro.sim.stats import RunResult
 
 #: Environment override for the cache directory (used by benchmarks/CI).
 CACHE_DIR_ENV = "REPRO_RUN_CACHE_DIR"
@@ -92,6 +93,11 @@ def config_from_fields(fields):
     fields = dict(fields)
     fields["aslr_mode"] = ASLRMode(fields["aslr_mode"])
     fields["costs"] = KernelCosts(**fields["costs"])
+    # ``dataclasses.asdict`` flattened any TraceOptions into a plain dict;
+    # rebuild the dataclass so rehydrated configs stay hashable (the
+    # in-memory run-cache key is ``dataclasses.astuple(config)``).
+    if isinstance(fields.get("trace"), dict):
+        fields["trace"] = TraceOptions(**fields["trace"])
     return SimConfig(**fields)
 
 
@@ -123,32 +129,15 @@ def functions_key_data(config, dense, cores, scale):
 # -- summary (de)serialization ------------------------------------------------------
 
 
-def _pairs(mapping):
-    return sorted([k, v] for k, v in mapping.items())
-
-
 def result_to_dict(result):
     """``RunResult`` -> JSON-ready summary (the Figure 10/11 artifacts).
 
-    Pids come from a process-global counter, so the same simulation run
-    in a fresh worker process yields different pids than in the parent.
-    The per-process measurements are identical either way, so pid-keyed
-    maps are renumbered to dense indices (in pid = creation order) to
-    keep summaries bit-identical regardless of which process ran them.
+    Delegates to :meth:`~repro.sim.stats.RunResult.as_dict`, the one
+    canonical summary shape (dense-pid normalization, latency
+    percentiles, obs snapshot) shared by the disk cache, pool workers,
+    and the trace-capture CLI.
     """
-    pids = sorted(set(result.completion_cycles) | set(result.process_cycles))
-    index = {pid: i for i, pid in enumerate(pids)}
-    return {
-        "config_name": result.config_name,
-        "stats": result.stats.as_dict(),
-        "core_cycles": _pairs(result.core_cycles),
-        "request_latency": _pairs(result.request_latency),
-        "completion_cycles": _pairs(
-            {index[k]: v for k, v in result.completion_cycles.items()}),
-        "process_cycles": _pairs(
-            {index[k]: v for k, v in result.process_cycles.items()}),
-        "context_switches": result.context_switches,
-    }
+    return result.as_dict()
 
 
 def result_from_dict(data):
@@ -160,6 +149,9 @@ def result_from_dict(data):
     result.completion_cycles = {k: v for k, v in data["completion_cycles"]}
     result.process_cycles = {k: v for k, v in data["process_cycles"]}
     result.context_switches = data["context_switches"]
+    result.obs = data.get("obs")
+    # ``latency``, ``total_cycles`` are derived on the fly; a cached
+    # ``coherence_violations`` count has no record list to restore.
     return result
 
 

@@ -23,10 +23,10 @@ results exactly like a sequential one.
 
 import concurrent.futures
 import dataclasses
-import time
 
 from repro.experiments import common, runcache
 from repro.experiments.runcache import DiskRunCache
+from repro.obs.profile import PhaseProfiler
 from repro.workloads.profiles import COMPUTE_APPS, SERVING_APPS
 
 
@@ -206,7 +206,7 @@ def _pool(jobs):
         initargs=(root, fingerprint))
 
 
-def execute(requests, jobs=1, progress=None):
+def execute(requests, jobs=1, progress=None, profiler=None):
     """Resolve ``requests`` through the caches, simulating each distinct
     miss once with ``jobs`` workers.
 
@@ -214,59 +214,82 @@ def execute(requests, jobs=1, progress=None):
     the same run object), and leaves every run seeded in the in-memory
     memo (and, when a disk cache is installed, persisted) so subsequent
     ``run_app`` / ``run_functions`` calls are hits.
+
+    All wall-clock accounting goes through ``profiler`` (a
+    :class:`repro.obs.PhaseProfiler`, one is created when omitted):
+    per-request simulate spans drive the progress lines, and the
+    ``cache_hit``/``cache_miss`` counters give ``--jobs N`` runs the
+    same summary shape as sequential ones.
     """
+    profiler = PhaseProfiler() if profiler is None else profiler
     unique = list(dict.fromkeys(requests))
     runs = {}
     pending = []
-    for request in unique:
-        run = _cached_run(request)
-        if run is not None:
-            runs[request] = run
-            if progress:
-                progress("[cached] %s" % request.label())
-        else:
-            pending.append(request)
+    with profiler.span("resolve"):
+        for request in unique:
+            run = _cached_run(request)
+            if run is not None:
+                runs[request] = run
+                profiler.count("cache_hit")
+                if progress:
+                    progress("[cached] %s" % request.label())
+            else:
+                pending.append(request)
+    profiler.count("cache_miss", len(pending))
 
     total = len(pending)
     if total and (jobs <= 1 or total == 1):
         for index, request in enumerate(pending):
-            started = time.time()
-            runs[request] = run_request(request)
+            with profiler.span("simulate") as span:
+                runs[request] = run_request(request)
             if progress:
                 progress("[%d/%d] %s  %.1fs"
-                         % (index + 1, total, request.label(),
-                            time.time() - started))
+                         % (index + 1, total, request.label(), span.seconds))
     elif total:
-        with _pool(jobs) as pool:
+        with profiler.span("simulate:parallel"), _pool(jobs) as pool:
+            submitted = profiler.clock()
             futures = {pool.submit(_worker_execute, request): request
                        for request in pending}
             done = 0
             for future in concurrent.futures.as_completed(futures):
                 request = futures[future]
-                runs[request] = _install_summary(request, future.result())
+                with profiler.span("install"):
+                    runs[request] = _install_summary(request, future.result())
                 done += 1
+                # Submit-to-completion wall time for this request (the
+                # pool submits everything up front, so this is how long
+                # the request took to come back, queueing included).
+                waited = profiler.clock() - submitted
+                profiler.add("request_wall", waited)
                 if progress:
-                    progress("[%d/%d] %s" % (done, total, request.label()))
+                    progress("[%d/%d] %s  %.1fs"
+                             % (done, total, request.label(), waited))
+    if progress:
+        progress(profiler.summary_line())
     return [runs[request] for request in requests]
 
 
-def parallel_map(fn, items, jobs=1, progress=None):
+def parallel_map(fn, items, jobs=1, progress=None, profiler=None):
     """Order-preserving map over pure, picklable work items.
 
     ``fn`` must be a module-level function.  With ``jobs <= 1`` this is a
     plain loop; otherwise items run across a process pool whose workers
     share the parent's disk cache.
     """
+    profiler = PhaseProfiler() if profiler is None else profiler
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         results = []
         for index, item in enumerate(items):
-            results.append(fn(item))
+            with profiler.span("map") as span:
+                results.append(fn(item))
             if progress:
-                progress("[%d/%d] done" % (index + 1, len(items)))
+                progress("[%d/%d] done  %.1fs"
+                         % (index + 1, len(items), span.seconds))
         return results
     results = [None] * len(items)
-    with _pool(jobs) as pool:
+    with profiler.span("map:parallel"), _pool(jobs) as pool:
+        submitted = profiler.clock()
         futures = {pool.submit(fn, item): index
                    for index, item in enumerate(items)}
         done = 0
@@ -274,5 +297,7 @@ def parallel_map(fn, items, jobs=1, progress=None):
             results[futures[future]] = future.result()
             done += 1
             if progress:
-                progress("[%d/%d] done" % (done, len(items)))
+                progress("[%d/%d] done  %.1fs"
+                         % (done, len(items),
+                            profiler.clock() - submitted))
     return results

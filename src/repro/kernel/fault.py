@@ -49,3 +49,15 @@ class FaultOutcome:
     ppn: int = None
     #: True when a BabelFish private pte-page copy was created.
     pte_page_copied: bool = False
+
+
+def trace_outcome(tracer, core, pid, vpn, outcome):
+    """Emit the FAULT trace event for one serviced fault.
+
+    The single choke point keeping the trace taxonomy next to
+    :class:`FaultType`: the event carries the fault kind, its cycle
+    cost, whether a BabelFish pte-page copy happened (a CoW ownership
+    transition), and how many TLB invalidations the handler requested.
+    """
+    tracer.fault(core, pid, vpn, outcome.fault_type.value, outcome.cycles,
+                 outcome.pte_page_copied, len(outcome.invalidations))

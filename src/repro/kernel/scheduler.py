@@ -18,6 +18,9 @@ class Scheduler:
         self.quantum_instructions = quantum_instructions
         self._queues = [collections.deque() for _ in range(num_cores)]
         self.context_switches = 0
+        #: Optional event tracer (:mod:`repro.obs`); set by the simulator
+        #: when tracing is enabled. Emits one SCHED_SWITCH per rotation.
+        self.tracer = None
 
     def assign(self, process, core_id):
         self._queues[core_id].append(process)
@@ -36,8 +39,11 @@ class Scheduler:
         """
         queue = self._queues[core_id]
         if len(queue) > 1:
+            prev = queue[0]
             queue.rotate(-1)
             self.context_switches += 1
+            if self.tracer is not None:
+                self.tracer.sched_switch(core_id, prev.pid, queue[0].pid)
         return queue[0] if queue else None
 
     def remove(self, process):

@@ -1,0 +1,44 @@
+"""repro.obs — observability for the simulator stack.
+
+Three layers, importable by any other package (obs itself imports
+nothing above the standard library, so it sits at the bottom of the
+BF101 layering DAG):
+
+- **event tracing** (:mod:`repro.obs.tracer`, :mod:`repro.obs.events`):
+  a bounded ring of typed events emitted from hook points in the MMU,
+  walker, fault path, and scheduler, gated by ``SimConfig(trace=...)``
+  and costing nothing when disabled;
+- **metrics** (:mod:`repro.obs.metrics`): labelled counters/gauges/log2
+  histograms with snapshot and merge semantics matching the parallel
+  runner's worker fan-out;
+- **phase profiling + exporters** (:mod:`repro.obs.profile`,
+  :mod:`repro.obs.export`, :mod:`repro.obs.summary`): wall-clock spans
+  for the harness, JSONL and Chrome ``trace_event`` sinks, and the
+  ``python -m repro.obs`` summarize/diff CLI.
+"""
+
+from repro.obs.events import event_to_dict
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    map_label,
+    merge_snapshots,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import TraceOptions, Tracer, resolve_trace_options
+from repro.obs.export import (
+    chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.summary import diff, flatten, format_summary, summarize
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "PhaseProfiler",
+    "TraceOptions", "Tracer", "chrome_trace", "diff", "event_to_dict",
+    "flatten", "format_summary", "map_label", "merge_snapshots",
+    "resolve_trace_options", "summarize", "write_chrome_trace",
+    "write_jsonl",
+]

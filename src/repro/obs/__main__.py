@@ -1,0 +1,75 @@
+"""``python -m repro.obs``: summarize and diff captured runs.
+
+Works on the artifacts ``python -m repro.experiments trace`` writes (a
+capture directory with ``summary.json``, ``trace.jsonl`` and
+``trace.chrome.json``) or directly on a summary/snapshot JSON file.
+
+    python -m repro.experiments trace --quick --out /tmp/obs-bf
+    python -m repro.obs summarize /tmp/obs-bf
+    python -m repro.obs diff /tmp/obs-bf /tmp/obs-base
+
+``summarize`` prints per-container fault breakdowns, the shared/private
+TLB hit matrix, walk latency, and the hottest VPNs. ``diff`` prints
+per-metric deltas between two runs — regression triage: only metrics a
+change actually affected show nonzero deltas.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.obs.summary import diff, format_diff, format_summary, summarize
+
+
+def load_snapshot(path):
+    """An obs snapshot from a capture dir, a capture summary.json, or a
+    bare snapshot JSON file."""
+    path = pathlib.Path(path)
+    if path.is_dir():
+        path = path / "summary.json"
+    data = json.loads(path.read_text())
+    if "metrics" in data:
+        return data
+    if isinstance(data.get("obs"), dict):
+        return data["obs"]
+    raise SystemExit("%s holds no obs snapshot (expected a 'metrics' or "
+                     "'obs' key)" % path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.obs",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sum_parser = sub.add_parser(
+        "summarize", help="triage summary of one captured run")
+    sum_parser.add_argument("run", help="capture dir or summary JSON file")
+    sum_parser.add_argument("--top", type=int, default=10,
+                            help="hottest VPNs to list (default 10)")
+    sum_parser.add_argument("--json", action="store_true",
+                            help="emit the structured summary as JSON")
+
+    diff_parser = sub.add_parser(
+        "diff", help="per-metric deltas between two captured runs")
+    diff_parser.add_argument("run_a", help="capture dir or summary JSON")
+    diff_parser.add_argument("run_b", help="capture dir or summary JSON")
+    diff_parser.add_argument("--all", action="store_true",
+                             help="also list unchanged metrics")
+
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        summary = summarize(load_snapshot(args.run), top=args.top)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_summary(summary))
+        return 0
+
+    rows = diff(load_snapshot(args.run_a), load_snapshot(args.run_b))
+    print(format_diff(rows, only_changed=not args.all))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Typed trace events: compact tuples on the hot path, dicts at the edge.
+
+Events are plain tuples for the same reason trace records are
+(:mod:`repro.sim.simulator`): emitting one is an append, not an object
+construction. The first four slots are common — ``(etype, core, cycle,
+pid, ...)`` with ``cycle`` the emitting core's *local* cycle count — and
+the remainder is typed per event (see :data:`FIELDS`).
+
+The taxonomy mirrors the paper's accounting: TLB hits carry the
+shared/private provenance Figure 10b is built from, page walks carry the
+per-level PWC outcomes of Figure 2, faults carry the kind split of the
+kernel counters, and scheduler events reconstruct Figure 7's
+container-interleaving timelines.
+"""
+
+#: Event type codes (tuple slot 0).
+TLB_HIT, TLB_MISS, PAGE_WALK, FAULT, SCHED_SWITCH, INVALIDATION, QUANTUM = \
+    range(7)
+
+#: Code -> wire name (JSONL ``event`` field).
+NAMES = ("TLB_HIT", "TLB_MISS", "PAGE_WALK", "FAULT", "SCHED_SWITCH",
+         "INVALIDATION", "QUANTUM")
+
+#: Per-type field names for tuple slots 4+.
+FIELDS = (
+    # TLB_HIT: level is "L1D"/"L1I"/"L2"; provenance "shared" when the
+    # entry was inserted by another process (Figure 10b's metric).
+    ("level", "vpn", "provenance"),
+    # TLB_MISS: instr distinguishes the I- and D-side streams.
+    ("level", "vpn", "instr"),
+    # PAGE_WALK: levels is one char per level read, root first —
+    # "p" = PWC hit, "m" = memory-hierarchy access (the leaf always "m").
+    ("vpn", "cycles", "fault", "levels"),
+    # FAULT: kind is a FaultType value; pte_page_copied marks BabelFish
+    # CoW ownership transitions (a private pte-page copy was created).
+    ("vpn", "kind", "cycles", "pte_page_copied", "invalidations"),
+    ("prev_pid", "next_pid"),
+    ("vpn", "scope"),
+    # QUANTUM: one scheduler quantum on a core; ``cycle`` is its start.
+    ("end_cycle", "instructions"),
+)
+
+PROVENANCE_SHARED = "shared"
+PROVENANCE_PRIVATE = "private"
+
+
+def event_to_dict(event):
+    """One event tuple -> a flat, JSON-ready dict."""
+    etype = event[0]
+    data = {"event": NAMES[etype], "core": event[1], "cycle": event[2],
+            "pid": event[3]}
+    for name, value in zip(FIELDS[etype], event[4:]):
+        data[name] = value
+    return data

@@ -1,0 +1,79 @@
+"""Trace exporters: JSONL event sink and Chrome ``trace_event`` JSON.
+
+The JSONL sink is the machine-readable firehose (one event dict per
+line, grep/jq-friendly). The Chrome exporter produces the subset of the
+`trace_event format <https://docs.google.com/document/d/1CvAClvFfyA5R-
+PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_ that ``chrome://tracing`` and Perfetto
+load: one track (tid) per core under a single "simulator" process,
+complete events ("ph": "X") for scheduler quanta, and instant events
+("ph": "i") for faults and TLB invalidations. Timestamps are core-local
+cycles presented as microseconds — relative spans are what matter.
+"""
+
+import json
+
+from repro.obs import events as ev
+
+#: The single chrome-trace process all core tracks live under.
+_TRACE_PID = 0
+
+
+def write_jsonl(events, path):
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w") as sink:
+        for event in events:
+            sink.write(json.dumps(ev.event_to_dict(event), sort_keys=True))
+            sink.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path):
+    with open(path) as source:
+        return [json.loads(line) for line in source if line.strip()]
+
+
+def chrome_trace_events(events):
+    """Chrome ``traceEvents`` list for a run's event stream."""
+    out = []
+    cores = sorted({event[1] for event in events})
+    for core in cores:
+        out.append({"name": "thread_name", "ph": "M", "pid": _TRACE_PID,
+                    "tid": core, "args": {"name": "core %d" % core}})
+    for event in events:
+        etype, core, cycle, pid = event[0], event[1], event[2], event[3]
+        if etype == ev.QUANTUM:
+            end_cycle, instructions = event[4], event[5]
+            out.append({"name": "pid %d" % pid, "cat": "sched", "ph": "X",
+                        "pid": _TRACE_PID, "tid": core, "ts": cycle,
+                        "dur": max(0, end_cycle - cycle),
+                        "args": {"pid": pid, "instructions": instructions}})
+        elif etype == ev.FAULT:
+            vpn, kind = event[4], event[5]
+            out.append({"name": "fault:%s" % kind, "cat": "fault", "ph": "i",
+                        "s": "t", "pid": _TRACE_PID, "tid": core, "ts": cycle,
+                        "args": {"pid": pid, "vpn": vpn,
+                                 "cycles": event[6]}})
+        elif etype == ev.INVALIDATION:
+            vpn, scope = event[4], event[5]
+            out.append({"name": "inval:%s" % scope, "cat": "tlb", "ph": "i",
+                        "s": "t", "pid": _TRACE_PID, "tid": core, "ts": cycle,
+                        "args": {"pid": pid, "vpn": vpn}})
+    return out
+
+
+def chrome_trace(events, metadata=None):
+    """The full JSON-object form of the trace_event format."""
+    doc = {"traceEvents": chrome_trace_events(events),
+           "displayTimeUnit": "ms"}
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def write_chrome_trace(events, path, metadata=None):
+    doc = chrome_trace(events, metadata)
+    with open(path, "w") as sink:
+        json.dump(doc, sink, sort_keys=True)
+    return len(doc["traceEvents"])

@@ -1,0 +1,209 @@
+"""Metrics registry: labelled counters, gauges, and log2 histograms.
+
+The registry is the aggregation side of the observability stack: the
+:class:`~repro.obs.tracer.Tracer` folds every event into it online, so
+summaries survive the bounded event ring. Snapshots are plain JSON-ready
+dicts with deterministic ordering, which makes them safe to ship across
+the ``ProcessPoolExecutor`` fan-out (workers serialize snapshots, the
+parent merges) and to store in the disk run cache alongside the
+:class:`~repro.sim.stats.RunResult` summary.
+
+Histograms use fixed log2 buckets — bucket ``b`` counts values in
+``[2**(b-1), 2**b)`` (bucket 0 counts zeros) — so cycle-count
+distributions (walk latency, request latency) come for free without
+configuring bucket boundaries per metric.
+"""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins; merges take the max)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+
+def bucket_of(value):
+    """Log2 bucket index for a non-negative value (0 for value 0)."""
+    return int(value).bit_length()
+
+
+class Histogram:
+    """Fixed log2-bucket histogram of non-negative values."""
+
+    __slots__ = ("buckets", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.buckets = {}
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        bucket = bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, pct):
+        """Nearest-rank percentile, resolved to its bucket's upper bound
+        (exact for the min/max, approximate in between)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(round(pct / 100.0 * self.count)))
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= rank:
+                return float((1 << bucket) - 1) if bucket else 0.0
+        return float(self.max)
+
+
+_KINDS = {"counters": Counter, "gauges": Gauge, "histograms": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled metrics.
+
+    Labels are keyword arguments (``registry.counter("faults",
+    kind="cow", pid=3)``); each distinct (name, label set) is its own
+    time series, as in Prometheus-style registries.
+    """
+
+    def __init__(self):
+        self._metrics = {}  # (kind, name, ((label, value), ...)) -> metric
+
+    def _get(self, kind, name, labels):
+        key = (kind, name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = _KINDS[kind]()
+        return metric
+
+    def counter(self, name, **labels):
+        return self._get("counters", name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get("gauges", name, labels)
+
+    def histogram(self, name, **labels):
+        return self._get("histograms", name, labels)
+
+    def snapshot(self):
+        """JSON-ready dict of every metric, deterministically ordered."""
+        out = {"counters": [], "gauges": [], "histograms": []}
+        for (kind, name, labels) in sorted(self._metrics,
+                                           key=_key_sort_key):
+            metric = self._metrics[(kind, name, labels)]
+            entry = {"name": name, "labels": {k: v for k, v in labels}}
+            if kind == "histograms":
+                entry["buckets"] = {str(b): n
+                                    for b, n in sorted(metric.buckets.items())}
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+                entry["min"] = metric.min
+                entry["max"] = metric.max
+            else:
+                entry["value"] = metric.value
+            out[kind].append(entry)
+        return out
+
+
+def _key_sort_key(key):
+    kind, name, labels = key
+    return (kind, name, [(k, repr(v)) for k, v in labels])
+
+
+def _entry_sort_key(entry):
+    return (entry["name"],
+            [(k, repr(v)) for k, v in sorted(entry["labels"].items())])
+
+
+def _entry_key(entry):
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+def merge_snapshots(snapshots):
+    """Merge registry snapshots: counters and histograms add, gauges
+    keep the maximum. The result is order-independent, so the parent of
+    a worker fan-out can merge in completion order."""
+    merged = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        for entry in snapshot.get("counters", []):
+            slot = merged["counters"].setdefault(
+                _entry_key(entry), dict(entry, value=0))
+            slot["value"] += entry["value"]
+        for entry in snapshot.get("gauges", []):
+            slot = merged["gauges"].setdefault(
+                _entry_key(entry), dict(entry))
+            slot["value"] = max(slot["value"], entry["value"])
+        for entry in snapshot.get("histograms", []):
+            slot = merged["histograms"].get(_entry_key(entry))
+            if slot is None:
+                merged["histograms"][_entry_key(entry)] = {
+                    "name": entry["name"], "labels": dict(entry["labels"]),
+                    "buckets": dict(entry["buckets"]), "count": entry["count"],
+                    "sum": entry["sum"], "min": entry["min"],
+                    "max": entry["max"]}
+                continue
+            for bucket, n in entry["buckets"].items():
+                slot["buckets"][bucket] = slot["buckets"].get(bucket, 0) + n
+            slot["count"] += entry["count"]
+            slot["sum"] += entry["sum"]
+            slot["min"] = _opt(min, slot["min"], entry["min"])
+            slot["max"] = _opt(max, slot["max"], entry["max"])
+    return {kind: sorted(entries.values(), key=_entry_sort_key)
+            for kind, entries in merged.items()}
+
+
+def _opt(fn, a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return fn(a, b)
+
+
+def map_label(snapshot, label, mapping, default=-1):
+    """A copy of a registry snapshot with one label's values remapped.
+
+    Used by :meth:`repro.sim.stats.RunResult.as_dict` to renumber raw
+    pids to dense creation-order indices, so the same run summarized in a
+    worker process and in the parent is bit-identical (pids come from a
+    process-global counter).
+    """
+    out = {}
+    for kind, entries in snapshot.items():
+        rewritten = []
+        for entry in entries:
+            labels = dict(entry["labels"])
+            if label in labels:
+                labels[label] = mapping.get(labels[label], default)
+            rewritten.append(dict(entry, labels=labels))
+        out[kind] = sorted(rewritten, key=_entry_sort_key)
+    return out

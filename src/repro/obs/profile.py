@@ -1,0 +1,87 @@
+"""Wall-clock phase profiler for the host-side harness.
+
+This is the one place in the stack where reading the wall clock is
+correct: the *harness* (runner, report, benchmarks) wants to know where
+real seconds go — trace generation, warm-up, simulation, reporting — as
+opposed to the simulation, whose only time is cycles (BF202 enforces
+that split). Phases nest via ``with profiler.span("warmup"):`` and the
+profiler keeps per-phase count/total/min/max plus free-form counters
+(cache hits, requests executed) so ``--jobs N`` runs report the same
+shape as sequential ones.
+"""
+
+import contextlib
+import time
+
+
+class Span:
+    """Handle yielded by :meth:`PhaseProfiler.span`; ``seconds`` is set
+    when the block exits (callers use it for progress lines)."""
+
+    __slots__ = ("name", "seconds")
+
+    def __init__(self, name):
+        self.name = name
+        self.seconds = None
+
+
+class PhaseProfiler:
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self.phases = {}   # name -> [count, total, min, max]
+        self._order = []   # first-seen phase order, for stable reports
+        self.counters = {}
+
+    @contextlib.contextmanager
+    def span(self, name):
+        handle = Span(name)
+        start = self.clock()
+        try:
+            yield handle
+        finally:
+            handle.seconds = self.clock() - start
+            self.add(name, handle.seconds)
+
+    def add(self, name, seconds):
+        """Record an externally timed duration under ``name``."""
+        slot = self.phases.get(name)
+        if slot is None:
+            self.phases[name] = [1, seconds, seconds, seconds]
+            self._order.append(name)
+        else:
+            slot[0] += 1
+            slot[1] += seconds
+            slot[2] = min(slot[2], seconds)
+            slot[3] = max(slot[3], seconds)
+
+    def count(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def as_dict(self):
+        return {
+            "phases": {name: {"count": c, "seconds": t, "min": lo, "max": hi}
+                       for name, (c, t, lo, hi) in self.phases.items()},
+            "counters": dict(self.counters),
+        }
+
+    def summary_line(self):
+        """One-line digest for progress streams."""
+        parts = ["%s %.1fs/%d" % (name, self.phases[name][1],
+                                  self.phases[name][0])
+                 for name in self._order]
+        parts += ["%s=%d" % (name, self.counters[name])
+                  for name in sorted(self.counters)]
+        return "phases: " + ("  ".join(parts) if parts else "(none)")
+
+    def format_summary(self, title="phase profile"):
+        lines = [title]
+        width = max([len(n) for n in self._order] + [5])
+        for name in self._order:
+            count, total, lo, hi = self.phases[name]
+            lines.append("  %-*s  %8.2fs  x%-4d  min %6.2fs  max %6.2fs"
+                         % (width, name, total, count, lo, hi))
+        if self.counters:
+            lines.append("  " + "  ".join(
+                "%s=%d" % (name, self.counters[name])
+                for name in sorted(self.counters)))
+        return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""The event tracer: a bounded ring of typed events + online metrics.
+
+Tracing is configured through ``SimConfig(trace=...)`` exactly like the
+translation sanitizer: ``None``/``False`` (the default) disables it and
+the simulator leaves every ``tracer`` attribute ``None``, so the hot
+path pays only an ``is not None`` test — no calls, no allocations. Any
+truthy value enables it: ``True`` for defaults, a :class:`TraceOptions`
+(or its field dict, as rehydrated from a cache entry) to tune the ring
+size or mute event families.
+
+The ring is a ``deque(maxlen=...)``: long runs keep the freshest events
+(the interesting tail) while the registry — which every event is folded
+into as it is emitted — keeps exact whole-run aggregates. That is why
+``summarize`` can cross-check the :class:`~repro.sim.stats.MMUStats`
+counters even when the ring has wrapped.
+"""
+
+import collections
+import dataclasses
+
+from repro.obs import events as ev
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceOptions:
+    """What to record; all families default on."""
+
+    #: Ring capacity in events; older events are dropped (the registry
+    #: still aggregates them).
+    buffer_size: int = 1 << 16
+    tlb: bool = True
+    walks: bool = True
+    faults: bool = True
+    sched: bool = True
+    invalidations: bool = True
+
+
+def resolve_trace_options(trace):
+    """``SimConfig.trace`` value -> :class:`TraceOptions` or None."""
+    if not trace:
+        return None
+    if trace is True:
+        return TraceOptions()
+    if isinstance(trace, TraceOptions):
+        return trace
+    if isinstance(trace, dict):
+        return TraceOptions(**trace)
+    raise TypeError("SimConfig.trace must be None, True, TraceOptions, "
+                    "or a TraceOptions field dict; got %r" % (trace,))
+
+
+class Tracer:
+    """Collects typed events and aggregates them into a registry.
+
+    Emit methods take the emitting core and the acting process's pid;
+    timestamps come from the per-core clock the simulator advances with
+    :meth:`tick` (core-local cycles, the only time the simulation has).
+    """
+
+    def __init__(self, options=None):
+        self.options = options or TraceOptions()
+        self.events = collections.deque(maxlen=self.options.buffer_size)
+        self.registry = MetricsRegistry()
+        self.emitted = 0
+        self._clock = {}
+
+    # -- clock -------------------------------------------------------------
+
+    def tick(self, core, cycle):
+        self._clock[core] = cycle
+
+    def clock(self, core):
+        return self._clock.get(core, 0)
+
+    @property
+    def dropped(self):
+        return self.emitted - len(self.events)
+
+    def reset(self):
+        """Forget everything (the simulator's ``reset_measurement``:
+        warm-up events must not leak into the measured snapshot)."""
+        self.events.clear()
+        self.registry = MetricsRegistry()
+        self.emitted = 0
+        self._clock = {}
+
+    def _emit(self, event):
+        self.events.append(event)
+        self.emitted += 1
+
+    # -- emitters ----------------------------------------------------------
+
+    def tlb_hit(self, core, pid, level, vpn, shared):
+        if not self.options.tlb:
+            return
+        provenance = ev.PROVENANCE_SHARED if shared else ev.PROVENANCE_PRIVATE
+        self._emit((ev.TLB_HIT, core, self._clock.get(core, 0), pid,
+                    level, vpn, provenance))
+        self.registry.counter("tlb_hits", level=level,
+                              provenance=provenance, pid=pid).inc()
+        if level != "L2":
+            # One L1-level event per access (hit or miss), so this is the
+            # per-VPN access heat behind ``summarize --top``.
+            self.registry.counter("vpn_accesses", vpn=vpn).inc()
+
+    def tlb_miss(self, core, pid, level, vpn, instr):
+        if not self.options.tlb:
+            return
+        self._emit((ev.TLB_MISS, core, self._clock.get(core, 0), pid,
+                    level, vpn, instr))
+        self.registry.counter("tlb_misses", level=level, pid=pid).inc()
+        if level != "L2":
+            self.registry.counter("vpn_accesses", vpn=vpn).inc()
+
+    def page_walk(self, core, pid, vpn, cycles, fault, levels):
+        if not self.options.walks:
+            return
+        self._emit((ev.PAGE_WALK, core, self._clock.get(core, 0), pid,
+                    vpn, cycles, fault, levels))
+        self.registry.counter("walks", pid=pid).inc()
+        self.registry.histogram("walk_cycles").observe(cycles)
+        self.registry.counter("walk_level_reads",
+                              outcome="pwc").inc(levels.count("p"))
+        self.registry.counter("walk_level_reads",
+                              outcome="memory").inc(levels.count("m"))
+
+    def fault(self, core, pid, vpn, kind, cycles, pte_page_copied,
+              invalidations):
+        if not self.options.faults:
+            return
+        self._emit((ev.FAULT, core, self._clock.get(core, 0), pid,
+                    vpn, kind, cycles, pte_page_copied, invalidations))
+        self.registry.counter("faults", kind=kind, pid=pid).inc()
+        self.registry.counter("fault_cycles", kind=kind, pid=pid).inc(cycles)
+        if pte_page_copied:
+            self.registry.counter("pte_page_copies", pid=pid).inc()
+        if invalidations:
+            self.registry.counter("fault_invalidations", pid=pid).inc(
+                invalidations)
+
+    def sched_switch(self, core, prev_pid, next_pid):
+        if not self.options.sched:
+            return
+        self._emit((ev.SCHED_SWITCH, core, self._clock.get(core, 0),
+                    prev_pid, prev_pid, next_pid))
+        self.registry.counter("sched_switches", core=core).inc()
+
+    def invalidation(self, core, pid, vpn, scope):
+        if not self.options.invalidations:
+            return
+        self._emit((ev.INVALIDATION, core, self._clock.get(core, 0), pid,
+                    vpn, scope))
+        self.registry.counter("invalidations", scope=scope).inc()
+
+    def quantum(self, core, pid, start_cycle, end_cycle, instructions):
+        if not self.options.sched:
+            return
+        self._emit((ev.QUANTUM, core, start_cycle, pid, end_cycle,
+                    instructions))
+        self.registry.histogram("quantum_instructions").observe(instructions)
+        self.registry.counter("quantum_cycles", core=core).inc(
+            end_cycle - start_cycle)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self):
+        """The JSON-ready whole-run aggregate (``RunResult.obs``)."""
+        return {
+            "options": dataclasses.asdict(self.options),
+            "events_emitted": self.emitted,
+            "events_kept": len(self.events),
+            "events_dropped": self.dropped,
+            "metrics": self.registry.snapshot(),
+        }

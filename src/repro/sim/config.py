@@ -43,6 +43,12 @@ class SimConfig:
     #: (:mod:`repro.analysis.sanitizer`). Debug/CI knob — adds a software
     #: walk per TLB event, so keep it off for performance numbers.
     sanitize: bool = False
+    #: Enable event tracing (:mod:`repro.obs`): ``None`` (default) keeps
+    #: every hook a no-op ``is not None`` test; ``True`` traces with
+    #: default options; a :class:`repro.obs.TraceOptions` (or its field
+    #: dict) tunes ring size and event families. The measured-phase
+    #: snapshot lands on ``RunResult.obs``.
+    trace: object = None
     costs: KernelCosts = dataclasses.field(default_factory=KernelCosts)
 
     @property

@@ -21,10 +21,11 @@ from repro.hw.types import AccessKind, PageSize
 from repro.core.babelfish_tlb import (
     BabelFishLookup,
     conventional_lookup,
+    hit_provenance,
     make_entry,
 )
 from repro.core.mask_page import region_of
-from repro.kernel.fault import FaultType, InvalidationScope
+from repro.kernel.fault import FaultType, InvalidationScope, trace_outcome
 from repro.sim.stats import MMUStats
 from repro.sim.walker import PageWalker
 
@@ -64,6 +65,10 @@ class MMU:
         #: Optional translation-coherence sanitizer (shadow MMU); set by
         #: the simulator when ``config.sanitize`` is enabled.
         self.sanitizer = None
+        #: Optional event tracer (:mod:`repro.obs`); set by the simulator
+        #: when ``config.trace`` is enabled. None keeps every hook to a
+        #: single ``is not None`` test.
+        self.tracer = None
 
     # -- main entry point --------------------------------------------------------
 
@@ -94,6 +99,7 @@ class MMU:
         access must retry."""
         stats = self.stats
         config = self.config
+        tracer = self.tracer
         cycles = self.l1_cycles
         l1_multi = self.l1i if instr else self.l1d
 
@@ -114,6 +120,10 @@ class MMU:
             if self.sanitizer is not None:
                 self.sanitizer.check_hit("L1I" if instr else "L1D",
                                          proc, entry, vpn_group)
+            if tracer is not None:
+                tracer.tlb_hit(self.core_id, proc.pid,
+                               "L1I" if instr else "L1D", vpn_group,
+                               hit_provenance(entry, proc))
             lookup_vpn = vpn_group if config.share_l1_tlb else vpn_proc
             ppn4k = entry.ppn + (lookup_vpn & (entry.page_size.base_pages - 1))
             return cycles, ppn4k, entry.page_size
@@ -121,6 +131,9 @@ class MMU:
             stats.l1_misses_i += 1
         else:
             stats.l1_misses_d += 1
+        if tracer is not None:
+            tracer.tlb_miss(self.core_id, proc.pid,
+                            "L1I" if instr else "L1D", vpn_group, instr)
 
         if config.babelfish_tlb and not config.aslr_mode.shares_l1:
             # ASLR-HW transformation between L1 and L2 (Section IV-D).
@@ -150,6 +163,9 @@ class MMU:
             entry = l2_res.entry
             if self.sanitizer is not None:
                 self.sanitizer.check_hit("L2", proc, entry, vpn_group)
+            if tracer is not None:
+                tracer.tlb_hit(self.core_id, proc.pid, "L2", vpn_group,
+                               hit_provenance(entry, proc))
             if instr:
                 stats.l2_hits_i += 1
                 if entry.inserted_by != proc.pid:
@@ -168,6 +184,8 @@ class MMU:
             stats.l2_misses_i += 1
         else:
             stats.l2_misses_d += 1
+        if tracer is not None:
+            tracer.tlb_miss(self.core_id, proc.pid, "L2", vpn_group, instr)
 
         walk = self.walker.walk(proc, vpn_group)
         stats.walks += 1
@@ -237,6 +255,9 @@ class MMU:
         outcome = self.kernel.handle_fault(proc, vpn_group, is_write)
         stats = self.stats
         stats.fault_cycles += outcome.cycles
+        if self.tracer is not None:
+            trace_outcome(self.tracer, self.core_id, proc.pid, vpn_group,
+                          outcome)
         if outcome.fault_type is FaultType.MINOR:
             stats.minor_faults += 1
         elif outcome.fault_type is FaultType.MAJOR:
@@ -255,6 +276,9 @@ class MMU:
 
     def apply_invalidation(self, proc, inv):
         """Apply one kernel-requested invalidation to this core's TLBs."""
+        if self.tracer is not None:
+            self.tracer.invalidation(self.core_id, proc.pid, inv.vpn,
+                                     inv.scope.value)
         if inv.scope is InvalidationScope.PROCESS:
             pred = lambda e: e.pcid == inv.pcid
             vpns = {inv.vpn}

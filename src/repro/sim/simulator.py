@@ -22,6 +22,7 @@ from repro.hw.cache import CacheHierarchy
 from repro.hw.dram import DRAMModel
 from repro.hw.types import AccessKind
 from repro.kernel.scheduler import Scheduler
+from repro.obs.tracer import Tracer, resolve_trace_options
 from repro.sim.mmu import MMU
 from repro.sim.stats import MMUStats, RunResult
 
@@ -43,12 +44,17 @@ class Simulator:
         self.hierarchy = CacheHierarchy(machine, self.dram)
         self.sanitizer = (TranslationSanitizer(kernel, config)
                           if config.sanitize else None)
+        trace_options = resolve_trace_options(config.trace)
+        self.tracer = Tracer(trace_options) if trace_options else None
         self.mmus = [MMU(core, machine, config, self.hierarchy, kernel)
                      for core in range(machine.cores)]
         for mmu in self.mmus:
             mmu.invalidation_sink = self._broadcast_invalidations
             mmu.sanitizer = self.sanitizer
+            mmu.tracer = self.tracer
+            mmu.walker.tracer = self.tracer
         self.scheduler = Scheduler(machine.cores, config.quantum_instructions)
+        self.scheduler.tracer = self.tracer
         self.core_cycles = [0] * machine.cores
         self._traces = {}
         self._request_latency = {}
@@ -98,6 +104,8 @@ class Simulator:
         quantum = self.scheduler.quantum_instructions
         hierarchy_access = self.hierarchy.access
         base_cpi = self.base_cpi
+        tracer = self.tracer
+        quantum_start = self.core_cycles[core_id]
         cycles = 0
         insts = 0
         finished = False
@@ -109,6 +117,8 @@ class Simulator:
                     break
                 kind_code, segment, page_off, line, gap, req_id = rec
                 kind = _KIND[kind_code]
+                if tracer is not None:
+                    tracer.tick(core_id, quantum_start + cycles)
                 tr = mmu.translate(proc, segment, page_off, kind,
                                    is_write=kind_code == K_STORE)
                 paddr = (tr.ppn4k << 12) | (line << 6)
@@ -125,6 +135,9 @@ class Simulator:
             finished = True
         stats.instructions += insts
         self.core_cycles[core_id] += cycles
+        if tracer is not None:
+            tracer.quantum(core_id, proc.pid, quantum_start,
+                           self.core_cycles[core_id], insts)
         self._proc_cycles[proc.pid] = self._proc_cycles.get(proc.pid, 0) + cycles
         if finished:
             self._completion[proc.pid] = self.core_cycles[core_id]
@@ -149,6 +162,8 @@ class Simulator:
         result.context_switches = self.scheduler.context_switches
         result.completion_cycles = dict(self._completion)
         result.process_cycles = dict(self._proc_cycles)
+        if self.tracer is not None:
+            result.obs = self.tracer.snapshot()
         return result
 
     # -- utilities ------------------------------------------------------------------
@@ -171,3 +186,6 @@ class Simulator:
         self._completion = {}
         self._proc_cycles = {}
         self.scheduler.context_switches = 0
+        if self.tracer is not None:
+            # Warm-up events must not leak into the measured snapshot.
+            self.tracer.reset()

@@ -2,6 +2,8 @@
 
 import math
 
+from repro.obs.metrics import map_label
+
 
 class MMUStats:
     """Counters for one core's MMU (instruction/data kept separate, as
@@ -77,6 +79,11 @@ def percentile(values, pct):
     return float(ordered[max(0, min(len(ordered) - 1, rank))])
 
 
+def _pairs(mapping):
+    """Dict -> sorted [key, value] pairs (deterministic JSON lists)."""
+    return sorted([k, v] for k, v in mapping.items())
+
+
 class RunResult:
     """Outcome of one simulation run."""
 
@@ -95,6 +102,9 @@ class RunResult:
         #: CoherenceViolation records from the translation sanitizer
         #: (empty unless the run had ``SimConfig(sanitize=True)``)
         self.coherence_violations = []
+        #: Observability snapshot (:meth:`repro.obs.Tracer.snapshot`);
+        #: None unless the run had ``SimConfig(trace=...)`` enabled.
+        self.obs = None
 
     @property
     def total_cycles(self):
@@ -107,6 +117,43 @@ class RunResult:
 
     def tail_latency(self, pct=95):
         return percentile(list(self.request_latency.values()), pct)
+
+    def as_dict(self):
+        """The canonical JSON-ready run summary (what the disk run cache
+        stores and pool workers ship back to the parent).
+
+        Pids come from a process-global counter, so the same simulation
+        in a fresh worker process yields different pids than in the
+        parent. Pid-keyed maps — and the ``pid`` labels inside the obs
+        snapshot — are renumbered to dense creation-order indices so
+        summaries are bit-identical regardless of which process ran
+        them.
+        """
+        pids = sorted(set(self.completion_cycles) | set(self.process_cycles))
+        index = {pid: i for i, pid in enumerate(pids)}
+        lats = list(self.request_latency.values())
+        data = {
+            "config_name": self.config_name,
+            "stats": self.stats.as_dict(),
+            "core_cycles": _pairs(self.core_cycles),
+            "request_latency": _pairs(self.request_latency),
+            "completion_cycles": _pairs(
+                {index[k]: v for k, v in self.completion_cycles.items()}),
+            "process_cycles": _pairs(
+                {index[k]: v for k, v in self.process_cycles.items()}),
+            "context_switches": self.context_switches,
+            "total_cycles": self.total_cycles,
+            "latency": {"mean": self.mean_latency,
+                        "p50": percentile(lats, 50),
+                        "p95": percentile(lats, 95),
+                        "p99": percentile(lats, 99)},
+            "coherence_violations": len(self.coherence_violations),
+        }
+        if self.obs is not None:
+            data["obs"] = dict(self.obs,
+                               metrics=map_label(self.obs["metrics"],
+                                                 "pid", index))
+        return data
 
     def __repr__(self):
         return "<RunResult %s cycles=%d requests=%d>" % (

@@ -34,6 +34,9 @@ class PageWalker:
         self.pwc = pwc
         self.walks = 0
         self.total_cycles = 0
+        #: Optional event tracer (:mod:`repro.obs`); set by the simulator
+        #: when tracing is enabled.
+        self.tracer = None
 
     def walk(self, proc, vpn):
         """Translate a 4K VPN through ``proc``'s tables with timing."""
@@ -42,17 +45,24 @@ class PageWalker:
         accesses = 0
         table = proc.tables.pgd
         level = PGD
+        # Per-level PWC/memory outcomes, root first ("p"/"m"), collected
+        # only when tracing so the hot path stays allocation-free.
+        outcomes = None if self.tracer is None else []
         while True:
             index = table_index(vpn, level)
             entry_paddr = table.entry_paddr(index)
             if level > 1 and self.pwc.lookup(level, entry_paddr):
                 cycles += self.pwc.access_cycles
+                if outcomes is not None:
+                    outcomes.append("p")
             else:
                 access_cycles, _level_hit = self.hierarchy.access(
                     self.core_id, entry_paddr, AccessKind.LOAD, skip_l1=True)
                 cycles += access_cycles
                 if level > 1:
                     self.pwc.insert(level, entry_paddr)
+                if outcomes is not None:
+                    outcomes.append("m")
             entry = table.entries.get(index)
             if entry is None:
                 result = WalkResult(None, None, level, cycles, accesses, True)
@@ -70,4 +80,7 @@ class PageWalker:
             table = entry.table
             level -= 1
         self.total_cycles += result.cycles
+        if outcomes is not None:
+            self.tracer.page_walk(self.core_id, proc.pid, vpn, result.cycles,
+                                  result.fault, "".join(outcomes))
         return result
