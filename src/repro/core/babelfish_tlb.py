@@ -12,8 +12,6 @@ The lookup is policy-only: it layers on the generic
 :class:`repro.hw.tlb.MultiSizeTLB` structures.
 """
 
-import dataclasses
-
 from repro.hw.types import PageSize
 from repro.hw.tlb import TLBEntry
 from repro.core.mask_page import region_of
@@ -36,15 +34,24 @@ def hit_provenance(entry, proc):
     return entry.inserted_by != proc.pid
 
 
-@dataclasses.dataclass
 class LookupResult:
-    entry: object            # TLBEntry or None
-    page_size: object        # PageSize or None
-    #: The PC bitmask had to be consulted: the L2 TLB access takes the
-    #: long (12-cycle) time instead of the short (10-cycle) one.
-    consulted_bitmask: bool = False
-    #: The hit entry is CoW and the access is a write: CoW page fault.
-    cow_fault: bool = False
+    """One TLB-level lookup outcome (allocated per probe on the hot path,
+    hence ``__slots__`` rather than a dataclass).
+
+    ``consulted_bitmask``: the PC bitmask had to be consulted, so the L2
+    TLB access takes the long (12-cycle) time instead of the short
+    (10-cycle) one. ``cow_fault``: the hit entry is CoW and the access is
+    a write — CoW page fault.
+    """
+
+    __slots__ = ("entry", "page_size", "consulted_bitmask", "cow_fault")
+
+    def __init__(self, entry, page_size, consulted_bitmask=False,
+                 cow_fault=False):
+        self.entry = entry            # TLBEntry or None
+        self.page_size = page_size    # PageSize or None
+        self.consulted_bitmask = consulted_bitmask
+        self.cow_fault = cow_fault
 
     @property
     def hit(self):
@@ -101,6 +108,71 @@ def conventional_lookup(multi_tlb, vpn4k, proc, is_write=False):
     entry, size = multi_tlb.lookup(vpn4k, match)
     cow_fault = bool(entry is not None and is_write and entry.cow)
     return LookupResult(entry, size, False, cow_fault)
+
+
+def babelfish_lookup_fast(multi, vpn4k, proc, is_write, domain_fn):
+    """:meth:`BabelFishLookup.lookup` with the Figure 8 predicate inlined
+    over :class:`~repro.hw.tlb.FastMultiSizeTLB` internals.
+
+    Same hits/misses/LRU effects, no closure or :class:`LookupResult`
+    allocation per probe. Returns ``(entry, page_size, consulted_bitmask,
+    cow_fault)``; only the simulator fast path calls this, and
+    tests/test_fastpath.py drives it against the reference lookup.
+    """
+    pcid = proc.pcid
+    ccid = proc.ccid
+    pc_bits = proc.pc_bits
+    consulted = False
+    for size, shift, tlb in multi._probe:
+        vpn = vpn4k >> shift
+        index = vpn & tlb.set_mask
+        bucket = tlb._buckets[index].get(vpn)
+        if bucket:
+            for entry in bucket:
+                if entry.ccid != ccid:
+                    continue                            # box 1: no CCID match
+                if entry.o_bit:
+                    if entry.pcid != pcid:
+                        continue                        # boxes 2, 9
+                else:
+                    if entry.orpc:
+                        consulted = True                # box 3 (long access)
+                        bit = pc_bits.get(domain_fn(entry))
+                        if bit is not None \
+                                and (entry.pc_mask >> bit) & 1:
+                            continue        # process has private copy
+                    if is_write and not entry.writable and not entry.cow:
+                        continue                        # permission miss
+                lru = tlb._lru[index]
+                del lru[entry]
+                lru[entry] = None
+                tlb.hits += 1
+                return entry, size, consulted, (is_write and entry.cow)
+        tlb.misses += 1
+    return None, None, consulted, False
+
+
+def conventional_lookup_fast(multi, vpn4k, pcid, is_write):
+    """:func:`conventional_lookup` inlined over
+    :class:`~repro.hw.tlb.FastMultiSizeTLB` internals; returns
+    ``(entry, page_size, cow_fault)``."""
+    for size, shift, tlb in multi._probe:
+        vpn = vpn4k >> shift
+        index = vpn & tlb.set_mask
+        bucket = tlb._buckets[index].get(vpn)
+        if bucket:
+            for entry in bucket:
+                if entry.pcid != pcid:
+                    continue
+                if is_write and not entry.writable and not entry.cow:
+                    continue
+                lru = tlb._lru[index]
+                del lru[entry]
+                lru[entry] = None
+                tlb.hits += 1
+                return entry, size, (is_write and entry.cow)
+        tlb.misses += 1
+    return None, None, False
 
 
 def babelfish_fill_fields(fill_info, load_bitmask=True):

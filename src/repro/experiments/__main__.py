@@ -8,9 +8,15 @@ inspects or clears that store.  ``trace`` captures one fully traced run
 ``trace.chrome.json`` (load in Perfetto / ``chrome://tracing``), and
 ``summary.json`` — that ``python -m repro.obs`` summarizes and diffs.
 
+``perf`` runs the hot-path harness (:mod:`repro.experiments.perf`): the
+same steady-state workload under ``fastpath=True`` and ``fastpath=False``,
+asserting bit-identical results and writing the accesses/sec ratio
+trajectory to ``BENCH_hotpath.json`` at the repo root.
+
     python -m repro.experiments run --quick --jobs 4
     python -m repro.experiments trace --quick --out /tmp/obs-bf
     python -m repro.experiments cache --clear
+    python -m repro.experiments perf --smoke
 """
 
 import argparse
@@ -86,11 +92,25 @@ def main(argv=None):
                                    "benchmarks/out/runcache)")
     cache_parser.add_argument("--clear", action="store_true")
 
+    perf_parser = sub.add_parser(
+        "perf", help="hot-path perf harness: fast vs reference, "
+                     "writes BENCH_hotpath.json")
+    perf_parser.add_argument("--smoke", action="store_true",
+                             help="smoke tier only (tiny config; CI)")
+    perf_parser.add_argument("--out", default=None,
+                             help="output JSON path (default "
+                                  "BENCH_hotpath.json at the repo root)")
+    perf_parser.add_argument("--repeats", type=int, default=None,
+                             help="timing repeats per tier (default: "
+                                  "the tier's own setting)")
+
     args = parser.parse_args(argv)
     if args.command == "cache":
         return _cache_command(args)
     if args.command == "trace":
         return _trace_command(trace_parser, args)
+    if args.command == "perf":
+        return _perf_command(perf_parser, args)
     return _run_command(run_parser, args)
 
 
@@ -160,6 +180,15 @@ def _trace_command(parser, args):
           % (kept, snapshot["events_emitted"], snapshot["events_dropped"],
              out))
     print(profiler.summary_line())
+    return 0
+
+
+def _perf_command(parser, args):
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be a positive integer (got %d)"
+                     % args.repeats)
+    from repro.experiments.perf import run_harness
+    run_harness(smoke=args.smoke, out=args.out, repeats=args.repeats)
     return 0
 
 

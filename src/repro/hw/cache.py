@@ -22,6 +22,8 @@ class SetAssociativeCache:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError("number of sets must be a power of two: %d" % self.num_sets)
         self.set_mask = self.num_sets - 1
+        self._tag_shift = self.num_sets.bit_length() - 1
+        self.access_cycles = params.access_cycles
         self.ways = params.ways
         # One dict per set: tag -> last-use stamp. Dicts keep us O(1) on
         # lookup; LRU victim search is O(ways), ways <= 16.
@@ -32,10 +34,15 @@ class SetAssociativeCache:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        #: Monotonic change counter: bumped on insert and on any
+        #: invalidate/flush that removed a line. Hits re-stamp LRU state
+        #: but do not change residency, so they leave it alone; the
+        #: hierarchy's same-line memo relies on exactly that contract.
+        self.epoch = 0
 
     def _index_tag(self, paddr):
         line = paddr >> self.line_bits
-        return line & self.set_mask, line >> (self.num_sets.bit_length() - 1)
+        return line & self.set_mask, line >> self._tag_shift
 
     def lookup(self, paddr, is_write=False):
         """Probe the cache; returns True on hit and updates LRU/dirty state."""
@@ -66,16 +73,24 @@ class SetAssociativeCache:
         cset[tag] = self._stamp
         if is_write:
             self._dirty.add((index, tag))
+        self.epoch += 1
 
     def invalidate(self, paddr):
         index, tag = self._index_tag(paddr)
-        self._sets[index].pop(tag, None)
+        cset = self._sets[index]
+        # Membership, not pop-default: the fast backing stores None as
+        # the per-tag value, which a pop-is-None test would misread as
+        # "absent" and skip the epoch bump.
+        if tag in cset:
+            del cset[tag]
+            self.epoch += 1
         self._dirty.discard((index, tag))
 
     def flush(self):
         for cset in self._sets:
             cset.clear()
         self._dirty.clear()
+        self.epoch += 1
 
     @property
     def occupancy(self):
@@ -86,16 +101,75 @@ class SetAssociativeCache:
             self.name, self.params.size_bytes, self.ways, self.hits, self.misses)
 
 
+class FastSetAssociativeCache(SetAssociativeCache):
+    """Recency-dict :class:`SetAssociativeCache` with identical observable
+    behaviour, selected by ``SimConfig.fastpath``.
+
+    The reference keeps ``tag -> stamp`` per set and scans for the
+    minimum stamp to evict; stamps are unique and monotonic, so their
+    order is exactly recency order. This backing stores the same tags in
+    a recency-ordered dict (oldest first; hits delete + reinsert), making
+    eviction ``next(iter(set))`` instead of an O(ways) ``min`` — the same
+    victim, without the scan. Hit/miss/eviction/writeback counters,
+    dirty-line state, ``occupancy``, and the ``epoch`` contract all match
+    the reference bit for bit (tests/test_fastpath.py drives both against
+    random access streams).
+    """
+
+    def lookup(self, paddr, is_write=False):
+        line = paddr >> self.line_bits
+        index = line & self.set_mask
+        tag = line >> self._tag_shift
+        cset = self._sets[index]
+        if tag in cset:
+            del cset[tag]
+            cset[tag] = None
+            if is_write:
+                self._dirty.add((index, tag))
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, paddr, is_write=False):
+        line = paddr >> self.line_bits
+        index = line & self.set_mask
+        tag = line >> self._tag_shift
+        cset = self._sets[index]
+        if tag in cset:
+            del cset[tag]
+        elif len(cset) >= self.ways:
+            victim = next(iter(cset))
+            del cset[victim]
+            self.evictions += 1
+            if (index, victim) in self._dirty:
+                self._dirty.discard((index, victim))
+                self.writebacks += 1
+        cset[tag] = None
+        if is_write:
+            self._dirty.add((index, tag))
+        self.epoch += 1
+
+
 class CacheHierarchy:
     """Per-core L1I/L1D + private L2, shared L3, and DRAM behind it."""
 
-    def __init__(self, machine, dram):
+    def __init__(self, machine, dram, fastpath=False):
         self.machine = machine
         self.dram = dram
-        self.l1i = [SetAssociativeCache(machine.l1i) for _ in range(machine.cores)]
-        self.l1d = [SetAssociativeCache(machine.l1d) for _ in range(machine.cores)]
-        self.l2 = [SetAssociativeCache(machine.l2) for _ in range(machine.cores)]
-        self.l3 = SetAssociativeCache(machine.l3)
+        cache_cls = FastSetAssociativeCache if fastpath else SetAssociativeCache
+        self.l1i = [cache_cls(machine.l1i) for _ in range(machine.cores)]
+        self.l1d = [cache_cls(machine.l1d) for _ in range(machine.cores)]
+        self.l2 = [cache_cls(machine.l2) for _ in range(machine.cores)]
+        self.l3 = cache_cls(machine.l3)
+        #: Same-line fast path (SimConfig.fastpath): per core, per L1
+        #: structure (0=ifetch, 1=data), the last line that hit in L1 as
+        #: ``(line, epoch-at-hit)``. A repeat access to the same line
+        #: while the L1's epoch is unchanged (line still resident) takes
+        #: the short-circuit below, which replays the reference hit path
+        #: (stamp, dirty, hit counter) without the lookup call chain.
+        self.fastpath = bool(fastpath)
+        self._line_memo = [[None, None] for _ in range(machine.cores)]
 
     def _l1_for(self, core_id, kind):
         if kind is AccessKind.IFETCH:
@@ -114,20 +188,45 @@ class CacheHierarchy:
         """
         is_write = kind is AccessKind.STORE
         cycles = 0
+        l1 = None
         if not skip_l1:
-            l1 = self._l1_for(core_id, kind)
-            cycles += l1.params.access_cycles
+            ifetch = kind is AccessKind.IFETCH
+            l1 = self.l1i[core_id] if ifetch else self.l1d[core_id]
+            if self.fastpath:
+                slot = self._line_memo[core_id]
+                way = 0 if ifetch else 1
+                line = paddr >> l1.line_bits
+                cached = slot[way]
+                if cached is not None and cached[0] == line \
+                        and cached[1] == l1.epoch:
+                    # Exact replay of the L1-hit path: the line is still
+                    # resident (epoch unmoved), so move it to MRU, mark
+                    # dirty on writes, and count the hit.
+                    index = line & l1.set_mask
+                    tag = line >> l1._tag_shift
+                    cset = l1._sets[index]
+                    del cset[tag]
+                    cset[tag] = None
+                    if is_write:
+                        l1._dirty.add((index, tag))
+                    l1.hits += 1
+                    return l1.access_cycles, MemoryLevel.L1
+            cycles += l1.access_cycles
             if l1.lookup(paddr, is_write):
+                if self.fastpath:
+                    slot[way] = (line, l1.epoch)
                 return cycles, MemoryLevel.L1
 
         l2 = self.l2[core_id]
-        cycles += l2.params.access_cycles
+        cycles += l2.access_cycles
         if l2.lookup(paddr, is_write):
             if not skip_l1:
-                self._l1_for(core_id, kind).insert(paddr, is_write)
+                l1.insert(paddr, is_write)
+                if self.fastpath:
+                    slot[way] = (line, l1.epoch)
             return cycles, MemoryLevel.L2
 
-        cycles += self.l3.params.access_cycles
+        cycles += self.l3.access_cycles
         if self.l3.lookup(paddr, is_write):
             level = MemoryLevel.L3
         else:
@@ -137,8 +236,65 @@ class CacheHierarchy:
 
         l2.insert(paddr, is_write)
         if not skip_l1:
-            self._l1_for(core_id, kind).insert(paddr, is_write)
+            l1.insert(paddr, is_write)
+            if self.fastpath:
+                slot[way] = (line, l1.epoch)
         return cycles, level
+
+    def data_access(self, core_id, paddr, kind_code):
+        """:meth:`access` specialized for the fast trace loop: demand
+        accesses only (never ``skip_l1``), trace-record kind codes
+        (0=ifetch, 1=load, 2=store) instead of :class:`AccessKind`, the
+        L1 probe and same-line memo inlined, and a plain cycle count
+        returned instead of a ``(cycles, level)`` tuple. State changes
+        are identical to :meth:`access`; only dispatched when the
+        hierarchy was built with ``fastpath=True``."""
+        is_write = kind_code == 2
+        ifetch = kind_code == 0
+        l1 = self.l1i[core_id] if ifetch else self.l1d[core_id]
+        line = paddr >> l1.line_bits
+        index = line & l1.set_mask
+        tag = line >> l1._tag_shift
+        cset = l1._sets[index]
+        slot = self._line_memo[core_id]
+        way = 0 if ifetch else 1
+        cached = slot[way]
+        if cached is not None and cached[0] == line \
+                and cached[1] == l1.epoch:
+            del cset[tag]
+            cset[tag] = None
+            if is_write:
+                l1._dirty.add((index, tag))
+            l1.hits += 1
+            return l1.access_cycles
+        cycles = l1.access_cycles
+        if tag in cset:
+            # Inline FastSetAssociativeCache.lookup hit.
+            del cset[tag]
+            cset[tag] = None
+            if is_write:
+                l1._dirty.add((index, tag))
+            l1.hits += 1
+            slot[way] = (line, l1.epoch)
+            return cycles
+        l1.misses += 1
+
+        l2 = self.l2[core_id]
+        cycles += l2.access_cycles
+        if l2.lookup(paddr, is_write):
+            l1.insert(paddr, is_write)
+            slot[way] = (line, l1.epoch)
+            return cycles
+
+        cycles += self.l3.access_cycles
+        if not self.l3.lookup(paddr, is_write):
+            cycles += self.dram.access(paddr)
+            self.l3.insert(paddr, is_write)
+
+        l2.insert(paddr, is_write)
+        l1.insert(paddr, is_write)
+        slot[way] = (line, l1.epoch)
+        return cycles
 
     def invalidate_line(self, paddr):
         """Drop a line everywhere (used when the kernel rewrites a pte page)."""

@@ -6,6 +6,26 @@ and the caller decides which (if any) is a hit. The conventional
 per-process policy (VPN + PCID match) lives here as
 :func:`conventional_match`; the BabelFish policy (Figure 8) lives in
 :mod:`repro.core.babelfish_tlb`.
+
+Two interchangeable backings exist for each structure:
+
+- :class:`SetAssocTLB` / :class:`MultiSizeTLB` — the reference
+  implementations: linear scans over per-set lists, ``id()``-keyed LRU
+  stamps. Simple enough to audit against the paper's figures.
+- :class:`FastSetAssocTLB` / :class:`FastMultiSizeTLB` — dict-backed
+  drop-ins selected by ``SimConfig.fastpath``: per-set ``{vpn:
+  [entries]}`` buckets make lookup O(matching ways), and a move-to-end
+  recency dict replaces the stamp scan. They produce bit-identical
+  hit/miss/eviction/iteration behaviour (tests/test_fastpath.py drives
+  both against random operation streams), and additionally maintain the
+  per-set epoch counters the L0 translation memo
+  (:mod:`repro.sim.fastpath`) validates against.
+
+Every structure carries a monotonic ``epoch`` counter bumped whenever
+its contents change (insert / effective invalidate / effective flush);
+``MultiSizeTLB`` aggregates its children's bumps. Epochs never reset,
+are never exported in results, and exist solely so cached lookups can
+prove "nothing changed since I was recorded".
 """
 
 from repro.hw.types import PageSize
@@ -70,6 +90,19 @@ class SetAssocTLB:
         self.misses = 0
         self.insertions = 0
         self.invalidations = 0
+        #: Monotonic change counter: bumped on insert and on any
+        #: invalidate/flush that actually removed something. Lookups do
+        #: not bump it (recency is not part of the guarded contract).
+        self.epoch = 0
+        #: Back-reference set by :class:`MultiSizeTLB` so child bumps
+        #: propagate to the level's aggregate epoch.
+        self.owner = None
+
+    def _bump_epoch(self):
+        self.epoch += 1
+        owner = self.owner
+        if owner is not None:
+            owner.epoch += 1
 
     def _set_for(self, vpn):
         return vpn & self.set_mask
@@ -113,17 +146,19 @@ class SetAssocTLB:
                     tset[i] = entry
                     self._touch(entry)
                     self.insertions += 1
+                    self._bump_epoch()
                     return old
         evicted = None
-        live = [e for e in tset if e.valid]
-        if len(live) >= self.ways:
-            evicted = min(live, key=lambda e: stamps.get(id(e), 0))
+        # invalidate()/flush() remove entries as they mark them invalid,
+        # so every resident entry is live.
+        if len(tset) >= self.ways:
+            evicted = min(tset, key=lambda e: stamps.get(id(e), 0))
             tset.remove(evicted)
             stamps.pop(id(evicted), None)
-        tset[:] = [e for e in tset if e.valid]
         tset.append(entry)
         self._touch(entry)
         self.insertions += 1
+        self._bump_epoch()
         return evicted
 
     def invalidate(self, vpn, pred=None):
@@ -138,6 +173,8 @@ class SetAssocTLB:
                 self._stamps[index].pop(id(entry), None)
                 removed += 1
         self.invalidations += removed
+        if removed:
+            self._bump_epoch()
         return removed
 
     def flush(self, pred=None):
@@ -154,6 +191,8 @@ class SetAssocTLB:
                     keep.append(entry)
             self._sets[index] = keep
         self.invalidations += removed
+        if removed:
+            self._bump_epoch()
         return removed
 
     def entries(self):
@@ -180,8 +219,13 @@ class MultiSizeTLB:
     VPN computed at that size.
     """
 
-    def __init__(self, params_by_size):
-        self.tlbs = {p.page_size: SetAssocTLB(p) for p in params_by_size}
+    def __init__(self, params_by_size, tlb_cls=None):
+        tlb_cls = tlb_cls or SetAssocTLB
+        self.tlbs = {p.page_size: tlb_cls(p) for p in params_by_size}
+        #: Aggregate change counter: bumped whenever any child bumps.
+        self.epoch = 0
+        for tlb in self.tlbs.values():
+            tlb.owner = self
 
     def lookup(self, vaddr_vpn4k, match, page_size=None):
         """Probe by a 4K VPN; ``page_size`` restricts to one structure.
@@ -224,3 +268,179 @@ class MultiSizeTLB:
         for tlb in self.tlbs.values():
             for entry in tlb.entries():
                 yield entry
+
+
+class FastSetAssocTLB(SetAssocTLB):
+    """Dict-backed :class:`SetAssocTLB` with identical observable behaviour.
+
+    - ``_buckets[set][vpn]`` lists same-VPN entries in insertion order, so
+      a lookup touches only the ways that could match; the reference's
+      linear scan visits non-matching VPNs only to reject them, so
+      first-match order is preserved exactly.
+    - ``_lru[set]`` is a recency dict (oldest key first; hits delete +
+      reinsert). Its first key is the entry with the minimum reference
+      stamp, so eviction picks the same victim.
+    - ``_sets`` is still maintained as the per-set insertion-order list,
+      keeping ``entries()`` / ``candidates()`` iteration order — and
+      therefore sanitizer scans and flush order — bit-identical.
+    - ``_set_epochs[set]`` counts content changes per set; the L0
+      translation memo (:mod:`repro.sim.fastpath`) records an entry's
+      set epoch and trusts a hit only while it is unchanged.
+    """
+
+    def __init__(self, params):
+        super().__init__(params)
+        self._buckets = [dict() for _ in range(self.num_sets)]
+        self._lru = [dict() for _ in range(self.num_sets)]
+        self._set_epochs = [0] * self.num_sets
+
+    def candidates(self, vpn):
+        bucket = self._buckets[vpn & self.set_mask].get(vpn)
+        return list(bucket) if bucket else []
+
+    def lookup(self, vpn, match, record=True):
+        index = vpn & self.set_mask
+        bucket = self._buckets[index].get(vpn)
+        if bucket:
+            for entry in bucket:
+                if match(entry):
+                    lru = self._lru[index]
+                    del lru[entry]
+                    lru[entry] = None
+                    if record:
+                        self.hits += 1
+                    return entry
+        if record:
+            self.misses += 1
+        return None
+
+    def _touch(self, entry):
+        lru = self._lru[entry.vpn & self.set_mask]
+        if entry in lru:
+            del lru[entry]
+        lru[entry] = None
+
+    def insert(self, entry, replace=None):
+        index = entry.vpn & self.set_mask
+        buckets = self._buckets[index]
+        lru = self._lru[index]
+        tset = self._sets[index]
+        if replace is not None:
+            bucket = buckets.get(entry.vpn)
+            if bucket:
+                for i, old in enumerate(bucket):
+                    if replace(old):
+                        bucket[i] = entry
+                        tset[tset.index(old)] = entry
+                        del lru[old]
+                        lru[entry] = None
+                        self.insertions += 1
+                        self._set_epochs[index] += 1
+                        self._bump_epoch()
+                        return old
+        evicted = None
+        if len(lru) >= self.ways:
+            evicted = next(iter(lru))
+            del lru[evicted]
+            bucket = self._buckets[index][evicted.vpn]
+            bucket.remove(evicted)
+            if not bucket:
+                del self._buckets[index][evicted.vpn]
+            tset.remove(evicted)
+        bucket = buckets.get(entry.vpn)
+        if bucket is None:
+            buckets[entry.vpn] = [entry]
+        else:
+            bucket.append(entry)
+        lru[entry] = None
+        tset.append(entry)
+        self.insertions += 1
+        self._set_epochs[index] += 1
+        self._bump_epoch()
+        return evicted
+
+    def invalidate(self, vpn, pred=None):
+        index = vpn & self.set_mask
+        bucket = self._buckets[index].get(vpn)
+        if not bucket:
+            return 0
+        removed = 0
+        lru = self._lru[index]
+        tset = self._sets[index]
+        for entry in list(bucket):
+            if pred is None or pred(entry):
+                entry.valid = False
+                bucket.remove(entry)
+                del lru[entry]
+                tset.remove(entry)
+                removed += 1
+        if not bucket:
+            del self._buckets[index][vpn]
+        self.invalidations += removed
+        if removed:
+            self._set_epochs[index] += 1
+            self._bump_epoch()
+        return removed
+
+    def flush(self, pred=None):
+        removed = 0
+        for index in range(self.num_sets):
+            tset = self._sets[index]
+            if not tset:
+                continue
+            here = 0
+            if pred is None:
+                here = len(tset)
+                for entry in tset:
+                    entry.valid = False
+                tset.clear()
+                self._buckets[index].clear()
+                self._lru[index].clear()
+            else:
+                buckets = self._buckets[index]
+                lru = self._lru[index]
+                for entry in list(tset):
+                    if pred(entry):
+                        entry.valid = False
+                        tset.remove(entry)
+                        bucket = buckets[entry.vpn]
+                        bucket.remove(entry)
+                        if not bucket:
+                            del buckets[entry.vpn]
+                        del lru[entry]
+                        here += 1
+            if here:
+                self._set_epochs[index] += 1
+                removed += here
+        self.invalidations += removed
+        if removed:
+            self._bump_epoch()
+        return removed
+
+
+class FastMultiSizeTLB(MultiSizeTLB):
+    """:class:`MultiSizeTLB` over :class:`FastSetAssocTLB` children, with
+    the per-size probe sequence (size, 4K-shift, structure) precomputed so
+    the hot lookup does no dict/list building per call."""
+
+    def __init__(self, params_by_size):
+        super().__init__(params_by_size, tlb_cls=FastSetAssocTLB)
+        self._probe = tuple(
+            (size, size.shift - PageSize.SIZE_4K.shift, tlb)
+            for size, tlb in self.tlbs.items())
+
+    def lookup(self, vaddr_vpn4k, match, page_size=None):
+        if page_size is not None:
+            tlb = self.tlbs.get(page_size)
+            if tlb is None:
+                return None, None
+            shift = page_size.shift - PageSize.SIZE_4K.shift
+            entry = tlb.lookup(vaddr_vpn4k >> shift, match)
+            if entry is not None:
+                return entry, page_size
+            return None, None
+        for size, shift, tlb in self._probe:
+            entry = tlb.lookup(vaddr_vpn4k >> shift, match)
+            if entry is not None:
+                return entry, size
+        return None, None

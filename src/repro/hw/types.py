@@ -55,6 +55,18 @@ class PageSize(enum.Enum):
         return 1 << (self.value - PAGE_SHIFT)
 
 
+# Hot-path constants precomputed as plain member attributes: the
+# ``shift``/``base_pages`` properties cost a descriptor dispatch plus an
+# enum ``.value`` access per call, which shows up when the simulator's
+# fast path does them per translation. ``shift4k`` is the right-shift
+# from a 4K VPN to this size's VPN; ``base_mask`` selects the 4K page
+# within a larger page (``base_pages - 1``).
+for _size in PageSize:
+    _size.shift4k = _size.value - PAGE_SHIFT
+    _size.base_mask = (1 << (_size.value - PAGE_SHIFT)) - 1
+del _size
+
+
 def vpn_for(vaddr, page_size=PageSize.SIZE_4K):
     """Virtual page number of ``vaddr`` for the given page size."""
     return vaddr >> page_size.shift

@@ -37,6 +37,15 @@ class SimConfig:
     #: Scheduler quantum in instructions (Table I's 10ms scaled down with
     #: the measurement slice; see DESIGN.md Section 4).
     quantum_instructions: int = 20_000
+    #: Enable the exact simulator fast path (:mod:`repro.sim.fastpath`):
+    #: the per-core L0 translation memo, dict-backed TLB sets, the
+    #: same-line L1 cache memo, and the tightened trace loop. Bit-
+    #: identical to the reference path by construction (DESIGN.md §11;
+    #: tests/test_fastpath.py verifies every stock config both ways), so
+    #: it defaults on. ``False`` — or ``REPRO_FASTPATH=0`` in the
+    #: environment — forces the reference implementations; ``sanitize``
+    #: and ``trace`` runs fall back to them automatically.
+    fastpath: bool = True
     #: Enable the translation-coherence sanitizer: a shadow MMU that
     #: cross-checks every TLB fill/hit/invalidation against an independent
     #: architectural walk of the kernel page tables

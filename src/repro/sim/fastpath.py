@@ -1,0 +1,290 @@
+"""The simulator's exact fast path: L0 translation memo + tight trace loop.
+
+Every experiment funnels millions of trace records through
+``Simulator._run_quantum`` -> ``MMU.translate`` -> TLB lookups ->
+``CacheHierarchy.access``; per-access interpreter overhead dominates
+end-to-end latency. Mirroring the fast/slow split of Utopia (PAPERS.md)
+— and exploiting the same page-level locality BabelFish itself banks on
+— this module short-circuits the *repeat* case while provably preserving
+every architectural observable:
+
+- :func:`fastpath_active` / :func:`structures_active` gate everything on
+  ``SimConfig.fastpath`` (default on) and the ``REPRO_FASTPATH=0``
+  environment escape hatch; sanitize/trace runs always take the
+  reference path.
+- :class:`TranslationMemo` caches, per (pid, segment, page) and per
+  access space (ifetch/data), the L1 TLB entry that hit last time plus
+  everything needed to *replay* the reference hit: the precomputed
+  ppn4k, the entry's set and set-epoch in its (fast) TLB structure, the
+  set-epochs of any structures probed before it, and the ORPC bitmask
+  scope for re-checking ``proc.pc_bits`` live. A probe serves the access
+  only when it can prove the reference lookup would return the same
+  entry with the same side effects (see DESIGN.md §11 for the exactness
+  argument); otherwise it falls through to the reference path, which
+  reseeds.
+- :func:`run_quantum_fast` is ``Simulator._run_quantum`` with prebound
+  locals, a tuple-indexed kind table, and a per-core reused
+  :class:`~repro.sim.mmu.TranslationResult` instead of a fresh
+  allocation per record. It is only dispatched when no tracer/sanitizer
+  is wired, so the (then no-op) tracer hooks are omitted.
+
+Nothing here is ever exported into a :class:`~repro.sim.stats.RunResult`
+— epochs and memo state are internal, so ``RunResult.as_dict()`` of a
+fast run is bit-identical to the reference run (tests/test_fastpath.py
+asserts this for every stock config).
+"""
+
+import os
+
+from repro.hw.types import AccessKind
+
+#: Environment escape hatch: ``REPRO_FASTPATH=0`` forces the reference
+#: path regardless of ``SimConfig.fastpath``.
+FASTPATH_ENV = "REPRO_FASTPATH"
+
+#: Trace-record kind codes index this directly (0=IFETCH 1=LOAD 2=STORE).
+_KINDS = (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE)
+
+
+def fastpath_active(config):
+    """True when ``config`` and the environment both allow the fast path."""
+    if not getattr(config, "fastpath", True):
+        return False
+    return os.environ.get(FASTPATH_ENV, "1") != "0"
+
+
+def structures_active(config):
+    """True when the fast structures (FastSetAssocTLB, memo, tight loop)
+    should back this config. Sanitize/trace runs use the reference path:
+    they are debug modes whose per-event hooks the memo would bypass."""
+    return (fastpath_active(config) and not config.sanitize
+            and not config.trace)
+
+
+class TranslationMemo:
+    """Per-core L0 memo over the L1 TLB hit path.
+
+    Record layout (one tuple per (pid, segment, page_off) key, separate
+    tables for ifetch and data)::
+
+        (entry, tlb, set_idx, set_epoch, ppn4k, page_size,
+         write_ok, write_seeded, mask_domain, pc_mask, pre)
+
+    where ``tlb`` is the :class:`~repro.hw.tlb.FastSetAssocTLB` holding
+    ``entry``, ``pre`` lists ``(tlb, set_idx, set_epoch)`` for every
+    structure the multi-size lookup probed (and missed) before the hit,
+    ``write_ok`` is ``entry.writable and not entry.cow``, and
+    ``mask_domain`` is the ORPC bitmask scope to re-check against
+    ``proc.pc_bits`` (None when the reference match does no mask check).
+
+    A probe hit replays the reference side effects exactly: the access
+    and L1-hit counters, one miss per pre-probed structure, the hit
+    structure's hit counter, and the entry's move-to-end LRU touch.
+    """
+
+    __slots__ = ("i", "d", "share_l1", "domain_fn", "limit")
+
+    def __init__(self, share_l1, domain_fn, limit=8192):
+        self.i = {}
+        self.d = {}
+        self.share_l1 = share_l1
+        self.domain_fn = domain_fn
+        self.limit = limit
+
+    def probe(self, proc, segment, page_off, instr, is_write, stats):
+        """Serve a repeat access, or return None to take the reference
+        path (which reseeds on its own L1 hit)."""
+        table = self.i if instr else self.d
+        key = (proc.pid, segment, page_off)
+        rec = table.get(key)
+        if rec is None:
+            return None
+        (entry, tlb, set_idx, set_epoch, ppn4k, page_size,
+         write_ok, write_seeded, mask_domain, pc_mask, pre) = rec
+        if tlb._set_epochs[set_idx] != set_epoch:
+            # The entry's set changed (fill/invalidate/flush): the
+            # recorded outcome can no longer be trusted.
+            del table[key]
+            return None
+        if is_write:
+            if not write_ok:
+                # Permission miss or CoW write fault — both leave the
+                # L1-hit fast case; the reference path handles them.
+                return None
+        elif write_seeded:
+            # A write-seeded record proves nothing about reads: an
+            # earlier same-bucket entry rejected only by the write-
+            # permission clause would match a read first.
+            return None
+        if mask_domain is not None:
+            # Live ORPC re-check: the process may have privatized a page
+            # in this scope since the seed (pc_bits only ever gains
+            # bits, so match can only flip hit -> miss).
+            bit = proc.pc_bits.get(mask_domain)
+            if bit is not None and (pc_mask >> bit) & 1:
+                return None
+        for pre_tlb, pre_idx, pre_epoch in pre:
+            if pre_tlb._set_epochs[pre_idx] != pre_epoch:
+                # A structure probed before the hit changed; a new entry
+                # there could now shadow the memoized one.
+                return None
+        # -- exact replay of the reference L1-hit side effects ----------
+        if instr:
+            stats.accesses_i += 1
+            stats.l1_hits_i += 1
+        else:
+            stats.accesses_d += 1
+            stats.l1_hits_d += 1
+        for pre_tlb, _idx, _epoch in pre:
+            pre_tlb.misses += 1
+        tlb.hits += 1
+        lru = tlb._lru[set_idx]
+        del lru[entry]
+        lru[entry] = None
+        return ppn4k, page_size
+
+    def seed(self, proc, segment, page_off, instr, is_write, lookup_vpn,
+             entry, multi, ppn4k):
+        """Record a reference L1 hit so the next access to the same page
+        can be served by :meth:`probe`."""
+        size = entry.page_size
+        pre = []
+        tlb = None
+        set_idx = 0
+        for probe_size, shift, probe_tlb in multi._probe:
+            idx = (lookup_vpn >> shift) & probe_tlb.set_mask
+            if probe_size is size:
+                tlb = probe_tlb
+                set_idx = idx
+                break
+            pre.append((probe_tlb, idx, probe_tlb._set_epochs[idx]))
+        if self.share_l1 and not entry.o_bit and entry.orpc:
+            mask_domain = self.domain_fn(entry)
+            pc_mask = entry.pc_mask
+        else:
+            mask_domain = None
+            pc_mask = 0
+        table = self.i if instr else self.d
+        if len(table) >= self.limit:
+            table.clear()
+        table[(proc.pid, segment, page_off)] = (
+            entry, tlb, set_idx, tlb._set_epochs[set_idx], ppn4k, size,
+            entry.writable and not entry.cow, is_write,
+            mask_domain, pc_mask, tuple(pre))
+
+
+def run_quantum_fast(sim, core_id, proc):
+    """``Simulator._run_quantum`` with prebound locals, a reused
+    translation result, and the L0 memo replay inlined into the loop
+    (the exact guard-and-replay sequence of :meth:`TranslationMemo.probe`
+    — a record failing a guard falls through to ``mmu.translate``, whose
+    own probe re-runs the same checks and reaches the same verdict).
+    Dispatched only when no tracer or sanitizer is wired, so their
+    (always-None) hooks are omitted; every counter and cycle update
+    matches the reference loop exactly."""
+    mmu = sim.mmus[core_id]
+    stats = mmu.stats
+    trace = sim._traces.get(proc.pid)
+    quantum = sim.scheduler.quantum_instructions
+    translate = mmu.translate
+    data_access = sim.hierarchy.data_access
+    base_cpi = sim.base_cpi
+    request_latency = sim._request_latency
+    rl_get = request_latency.get
+    kinds = _KINDS
+    scratch = mmu._tr_scratch
+    memo = mmu._memo
+    # An empty table never hits, turning the inline replay into a plain
+    # dict miss when the memo is unwired (e.g. a hand-attached tracer).
+    memo_i = memo.i if memo is not None else {}
+    memo_d = memo.d if memo is not None else {}
+    pid = proc.pid
+    pc_bits = proc.pc_bits
+    l1_cycles = mmu.l1_cycles
+    cycles = 0
+    insts = 0
+    t_cycles = 0
+    m_cycles = 0
+    # Memo-hit counter deltas, flushed to ``stats`` after the loop. All
+    # increments commute with the ones ``translate`` applies directly,
+    # and nothing reads ``stats`` mid-quantum on this (hook-free) path.
+    acc_i = hits_i = acc_d = hits_d = 0
+    finished = False
+    if trace is not None:
+        while insts < quantum:
+            rec = next(trace, None)
+            if rec is None:
+                finished = True
+                break
+            kind_code, segment, page_off, line, gap, req_id = rec
+            # -- L0 translation memo, inlined ---------------------------
+            instr = kind_code == 0
+            is_write = kind_code == 2
+            table = memo_i if instr else memo_d
+            key = (pid, segment, page_off)
+            rec_m = table.get(key)
+            tr_cycles = -1
+            if rec_m is not None:
+                (entry, tlb, set_idx, set_epoch, ppn4k, _page_size,
+                 write_ok, write_seeded, mask_domain, pc_mask, pre) = rec_m
+                if tlb._set_epochs[set_idx] != set_epoch:
+                    del table[key]
+                elif write_ok if is_write else not write_seeded:
+                    ok = True
+                    if mask_domain is not None:
+                        bit = pc_bits.get(mask_domain)
+                        if bit is not None and (pc_mask >> bit) & 1:
+                            ok = False
+                    if ok:
+                        for pre_tlb, pre_idx, pre_epoch in pre:
+                            if pre_tlb._set_epochs[pre_idx] != pre_epoch:
+                                ok = False
+                                break
+                    if ok:
+                        # Exact replay of the reference L1-hit effects.
+                        if instr:
+                            acc_i += 1
+                            hits_i += 1
+                        else:
+                            acc_d += 1
+                            hits_d += 1
+                        for pre_tlb, _idx, _epoch in pre:
+                            pre_tlb.misses += 1
+                        tlb.hits += 1
+                        lru = tlb._lru[set_idx]
+                        del lru[entry]
+                        lru[entry] = None
+                        tr_cycles = l1_cycles
+            if tr_cycles < 0:
+                tr = translate(proc, segment, page_off, kinds[kind_code],
+                               is_write, scratch)
+                tr_cycles = tr.cycles
+                ppn4k = tr.ppn4k
+            mem_cycles = data_access(
+                core_id, (ppn4k << 12) | (line << 6), kind_code)
+            record_cycles = int(gap * base_cpi) + tr_cycles + mem_cycles
+            cycles += record_cycles
+            insts += gap + 1
+            t_cycles += tr_cycles
+            m_cycles += mem_cycles
+            if req_id is not None:
+                request_latency[req_id] = rl_get(req_id, 0) + record_cycles
+    else:
+        finished = True
+    stats.accesses_i += acc_i
+    stats.l1_hits_i += hits_i
+    stats.accesses_d += acc_d
+    stats.l1_hits_d += hits_d
+    stats.translation_cycles += t_cycles
+    stats.memory_cycles += m_cycles
+    stats.instructions += insts
+    sim.core_cycles[core_id] += cycles
+    sim._proc_cycles[proc.pid] = sim._proc_cycles.get(proc.pid, 0) + cycles
+    if finished:
+        sim._completion[proc.pid] = sim.core_cycles[core_id]
+        sim._traces.pop(proc.pid, None)
+        sim.scheduler.remove(proc)
+    nxt = sim.scheduler.rotate(core_id)
+    if nxt is not None and nxt is not proc:
+        sim.core_cycles[core_id] += sim.switch_cost
+    return insts

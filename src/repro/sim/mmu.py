@@ -13,30 +13,41 @@ The translation path (Section VI's timing rules):
    kernel and retry.
 """
 
-import dataclasses
-
 from repro.hw.pwc import PageWalkCache
-from repro.hw.tlb import MultiSizeTLB, TLBEntry
+from repro.hw.tlb import FastMultiSizeTLB, MultiSizeTLB, TLBEntry
 from repro.hw.types import AccessKind, PageSize
 from repro.core.babelfish_tlb import (
     BabelFishLookup,
+    babelfish_lookup_fast,
     conventional_lookup,
+    conventional_lookup_fast,
     hit_provenance,
     make_entry,
 )
 from repro.core.mask_page import region_of
 from repro.kernel.fault import FaultType, InvalidationScope, trace_outcome
+from repro.sim.fastpath import TranslationMemo, structures_active
 from repro.sim.stats import MMUStats
 from repro.sim.walker import PageWalker
 
 _MAX_FAULT_RETRIES = 6
 
 
-@dataclasses.dataclass
 class TranslationResult:
-    cycles: int
-    ppn4k: int
-    page_size: PageSize
+    """One translated access (allocated per access on the reference path,
+    reused per core by the fast trace loop — hence a mutable slotted
+    class rather than a dataclass)."""
+
+    __slots__ = ("cycles", "ppn4k", "page_size")
+
+    def __init__(self, cycles=0, ppn4k=0, page_size=PageSize.SIZE_4K):
+        self.cycles = cycles
+        self.ppn4k = ppn4k
+        self.page_size = page_size
+
+    def __repr__(self):
+        return ("TranslationResult(cycles=%r, ppn4k=%r, page_size=%r)"
+                % (self.cycles, self.ppn4k, self.page_size))
 
 
 class MMU:
@@ -45,9 +56,13 @@ class MMU:
         self.config = config
         self.kernel = kernel
         mmu = machine.mmu
-        self.l1d = MultiSizeTLB([mmu.l1d_4k, mmu.l1d_2m, mmu.l1d_1g])
-        self.l1i = MultiSizeTLB([mmu.l1i_4k])
-        self.l2 = MultiSizeTLB([mmu.l2_4k, mmu.l2_2m, mmu.l2_1g])
+        #: Fast structures + L0 memo, unless the config/env/debug modes
+        #: force the reference implementations (repro.sim.fastpath).
+        self.fast = structures_active(config)
+        multi = FastMultiSizeTLB if self.fast else MultiSizeTLB
+        self.l1d = multi([mmu.l1d_4k, mmu.l1d_2m, mmu.l1d_1g])
+        self.l1i = multi([mmu.l1i_4k])
+        self.l2 = multi([mmu.l2_4k, mmu.l2_2m, mmu.l2_1g])
         self.pwc = PageWalkCache(mmu.pwc)
         self.walker = PageWalker(core_id, hierarchy, self.pwc)
         self.l2_short_cycles = mmu.l2_4k.access_cycles
@@ -62,21 +77,81 @@ class MMU:
         #: Callback set by the simulator: applies kernel-requested TLB
         #: invalidations to every core.
         self.invalidation_sink = self._local_invalidation_sink
-        #: Optional translation-coherence sanitizer (shadow MMU); set by
-        #: the simulator when ``config.sanitize`` is enabled.
-        self.sanitizer = None
-        #: Optional event tracer (:mod:`repro.obs`); set by the simulator
-        #: when ``config.trace`` is enabled. None keeps every hook to a
-        #: single ``is not None`` test.
-        self.tracer = None
+        #: L0 translation memo (repro.sim.fastpath). ``_memo_store`` is
+        #: the instance (or None without fast structures); ``_memo`` is
+        #: what translate() consults and goes None whenever a sanitizer
+        #: or tracer is wired (their per-event hooks must see every
+        #: lookup). The sanitizer/tracer properties below keep the two
+        #: in sync for any wiring order.
+        self._memo_store = (
+            TranslationMemo(config.share_l1_tlb, self._bf_l1d.domain_fn)
+            if self.fast else None)
+        self._memo = self._memo_store
+        #: Reused result for the fast trace loop (one per core; the
+        #: public translate() still allocates unless ``into`` is passed).
+        self._tr_scratch = TranslationResult()
+        # Per-config constants prebound for the fast translate path
+        # (none of these can change over a run).
+        self._share_l1 = config.share_l1_tlb
+        self._bf_tlb = config.babelfish_tlb
+        self._aslr_transform = (config.babelfish_tlb
+                                and not config.aslr_mode.shares_l1)
+        self._orpc = config.orpc_enabled
+        self._domain_fn = self._bf_l1d.domain_fn
+        self._sanitizer = None
+        self._tracer = None
+
+    #: Optional translation-coherence sanitizer (shadow MMU); set by
+    #: the simulator when ``config.sanitize`` is enabled.
+    @property
+    def sanitizer(self):
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, value):
+        self._sanitizer = value
+        self._sync_memo()
+
+    #: Optional event tracer (:mod:`repro.obs`); set by the simulator
+    #: when ``config.trace`` is enabled. None keeps every hook to a
+    #: single ``is not None`` test.
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value):
+        self._tracer = value
+        self._sync_memo()
+
+    def _sync_memo(self):
+        self._memo = (self._memo_store
+                      if self._sanitizer is None and self._tracer is None
+                      else None)
 
     # -- main entry point --------------------------------------------------------
 
-    def translate(self, proc, segment, page_off, kind, is_write=False):
-        """Translate one access; returns a :class:`TranslationResult`."""
+    def translate(self, proc, segment, page_off, kind, is_write=False,
+                  into=None):
+        """Translate one access; returns a :class:`TranslationResult`
+        (``into``, updated in place, when the caller passes one)."""
         stats = self.stats
         instr = kind is AccessKind.IFETCH
         is_write = is_write or kind is AccessKind.STORE
+        memo = self._memo
+        if memo is not None:
+            hit = memo.probe(proc, segment, page_off, instr, is_write,
+                             stats)
+            if hit is not None:
+                if into is None:
+                    return TranslationResult(self.l1_cycles, hit[0], hit[1])
+                into.cycles = self.l1_cycles
+                into.ppn4k = hit[0]
+                into.page_size = hit[1]
+                return into
+            try_translate = self._try_translate_fast
+        else:
+            try_translate = self._try_translate
         if instr:
             stats.accesses_i += 1
         else:
@@ -85,15 +160,21 @@ class MMU:
         vpn_group = proc.vpn_group(segment, page_off)
         cycles = 0
         for _ in range(_MAX_FAULT_RETRIES):
-            result = self._try_translate(proc, vpn_proc, vpn_group, instr,
-                                         is_write)
+            result = try_translate(proc, segment, page_off, vpn_proc,
+                                   vpn_group, instr, is_write)
             cycles += result[0]
             if result[1] is not None:
-                return TranslationResult(cycles, result[1], result[2])
+                if into is None:
+                    return TranslationResult(cycles, result[1], result[2])
+                into.cycles = cycles
+                into.ppn4k = result[1]
+                into.page_size = result[2]
+                return into
             # A CoW fault (from a TLB hit or walk) was serviced; retry.
         raise RuntimeError("translation did not converge for vpn %#x" % vpn_group)
 
-    def _try_translate(self, proc, vpn_proc, vpn_group, instr, is_write):
+    def _try_translate(self, proc, segment, page_off, vpn_proc, vpn_group,
+                       instr, is_write):
         """One pass through L1 -> L2 -> walk. Returns (cycles, ppn4k|None,
         page_size|None); ppn4k None means a fault was serviced and the
         access must retry."""
@@ -126,6 +207,10 @@ class MMU:
                                hit_provenance(entry, proc))
             lookup_vpn = vpn_group if config.share_l1_tlb else vpn_proc
             ppn4k = entry.ppn + (lookup_vpn & (entry.page_size.base_pages - 1))
+            memo = self._memo
+            if memo is not None:
+                memo.seed(proc, segment, page_off, instr, is_write,
+                          lookup_vpn, entry, l1_multi, ppn4k)
             return cycles, ppn4k, entry.page_size
         if instr:
             stats.l1_misses_i += 1
@@ -200,6 +285,106 @@ class MMU:
         self._fill_l1(proc, vpn_proc, vpn_group, entry, instr)
         self.kernel.lru.touch(pte.ppn)
         ppn4k = pte.ppn + (vpn_group & (pte.page_size.base_pages - 1))
+        return cycles, ppn4k, pte.page_size
+
+    def _try_translate_fast(self, proc, segment, page_off, vpn_proc,
+                            vpn_group, instr, is_write):
+        """:meth:`_try_translate` specialized for the fast path: inlined
+        allocation-free TLB probes (:func:`babelfish_lookup_fast` /
+        :func:`conventional_lookup_fast`) over the Fast* structures and
+        prebound config flags, with every counter, cycle, LRU, fill, and
+        fault effect identical to the reference pass. Only dispatched
+        when the L0 memo is live, i.e. fast structures are in use and no
+        sanitizer/tracer hooks are wired (their hook sites are omitted
+        here). tests/test_fastpath.py holds the two passes bit-equal."""
+        stats = self.stats
+        cycles = self.l1_cycles
+        l1_multi = self.l1i if instr else self.l1d
+
+        if self._share_l1:
+            lookup_vpn = vpn_group
+            entry, _size, _consulted, cow_fault = babelfish_lookup_fast(
+                l1_multi, vpn_group, proc, is_write, self._domain_fn)
+        else:
+            lookup_vpn = vpn_proc
+            entry, _size, cow_fault = conventional_lookup_fast(
+                l1_multi, vpn_proc, proc.pcid, is_write)
+        if cow_fault:
+            cycles += self._service_fault(proc, vpn_group, is_write)
+            return cycles, None, None
+        if entry is not None:
+            if instr:
+                stats.l1_hits_i += 1
+            else:
+                stats.l1_hits_d += 1
+            ppn4k = entry.ppn + (lookup_vpn & entry.page_size.base_mask)
+            memo = self._memo
+            if memo is not None:
+                memo.seed(proc, segment, page_off, instr, is_write,
+                          lookup_vpn, entry, l1_multi, ppn4k)
+            return cycles, ppn4k, entry.page_size
+        if instr:
+            stats.l1_misses_i += 1
+        else:
+            stats.l1_misses_d += 1
+
+        if self._aslr_transform:
+            # ASLR-HW transformation between L1 and L2 (Section IV-D).
+            cycles += self.aslr_cycles
+            stats.aslr_transforms += 1
+
+        if self._bf_tlb:
+            entry, _size, consulted, cow_fault = babelfish_lookup_fast(
+                self.l2, vpn_group, proc, is_write, self._domain_fn)
+            long_access = consulted
+            if not self._orpc and entry is not None and not entry.o_bit:
+                # Without the ORPC filter every shared-entry access must
+                # read the PC bitmask (Figure 5b's saving, ablated).
+                long_access = True
+            if long_access:
+                cycles += self.l2_long_cycles
+                stats.l2_long_accesses += 1
+            else:
+                cycles += self.l2_short_cycles
+        else:
+            entry, _size, cow_fault = conventional_lookup_fast(
+                self.l2, vpn_group, proc.pcid, is_write)
+            cycles += self.l2_short_cycles
+        if cow_fault:
+            cycles += self._service_fault(proc, vpn_group, is_write)
+            return cycles, None, None
+        if entry is not None:
+            if instr:
+                stats.l2_hits_i += 1
+                if entry.inserted_by != proc.pid:
+                    stats.l2_shared_hits_i += 1
+            else:
+                stats.l2_hits_d += 1
+                if entry.inserted_by != proc.pid:
+                    stats.l2_shared_hits_d += 1
+            self._fill_l1(proc, vpn_proc, vpn_group, entry, instr)
+            # Accessed-bit harvesting, as in the reference pass.
+            self.kernel.lru.touch(entry.ppn)
+            ppn4k = entry.ppn + (vpn_group & entry.page_size.base_mask)
+            return cycles, ppn4k, entry.page_size
+        if instr:
+            stats.l2_misses_i += 1
+        else:
+            stats.l2_misses_d += 1
+
+        walk = self.walker.walk(proc, vpn_group)
+        stats.walks += 1
+        stats.walk_cycles += walk.cycles
+        cycles += walk.cycles
+        pte = walk.pte
+        if walk.fault or (is_write and (pte.cow or not pte.writable)):
+            cycles += self._service_fault(proc, vpn_group, is_write)
+            return cycles, None, None
+
+        entry = self._fill_l2(proc, vpn_group, pte, walk.leaf_table)
+        self._fill_l1(proc, vpn_proc, vpn_group, entry, instr)
+        self.kernel.lru.touch(pte.ppn)
+        ppn4k = pte.ppn + (vpn_group & pte.page_size.base_mask)
         return cycles, ppn4k, pte.page_size
 
     # -- fills -----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.hw.dram import DRAMModel
 from repro.hw.types import AccessKind
 from repro.kernel.scheduler import Scheduler
 from repro.obs.tracer import Tracer, resolve_trace_options
+from repro.sim import fastpath
 from repro.sim.mmu import MMU
 from repro.sim.stats import MMUStats, RunResult
 
@@ -41,7 +42,13 @@ class Simulator:
         self.config = config
         self.kernel = kernel
         self.dram = DRAMModel(machine.dram)
-        self.hierarchy = CacheHierarchy(machine, self.dram)
+        #: Exact fast path (repro.sim.fastpath): tight trace loop +
+        #: same-line cache memo; the MMUs make the matching choice from
+        #: the same predicate. Off under sanitize/trace (debug modes run
+        #: the reference path) or REPRO_FASTPATH=0.
+        self._fast = fastpath.structures_active(config)
+        self.hierarchy = CacheHierarchy(machine, self.dram,
+                                        fastpath=self._fast)
         self.sanitizer = (TranslationSanitizer(kernel, config)
                           if config.sanitize else None)
         trace_options = resolve_trace_options(config.trace)
@@ -98,6 +105,8 @@ class Simulator:
         return self._finish()
 
     def _run_quantum(self, core_id, proc):
+        if self._fast:
+            return fastpath.run_quantum_fast(self, core_id, proc)
         mmu = self.mmus[core_id]
         stats = mmu.stats
         trace = self._traces.get(proc.pid)
