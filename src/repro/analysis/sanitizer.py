@@ -16,7 +16,12 @@ TLBs, no PWC, no timing). It catches:
 - **CCID leakage**: an entry tagged with one group hit or filled by a
   process of another;
 - **invalidation leaks**: entries that survive an invalidation they were
-  scoped to cover.
+  scoped to cover;
+- **freed frames**: a hit or fill that resolves to a physical frame the
+  kernel has freed and not reallocated (the container-churn bug class:
+  a dead process's translations outliving its frames). Teardown paths
+  report freed PPNs through ``kernel.on_frames_freed`` and the sanitizer
+  quarantines them until the allocator hands them out again.
 
 Checks run with the simulation's own objects but read-only; violations
 are recorded (and optionally raised) as :class:`CoherenceViolation`.
@@ -42,7 +47,7 @@ class CoherenceError(AssertionError):
 class CoherenceViolation:
     kind: str        # stale-entry | ppn-mismatch | size-mismatch |
                      # perm-mismatch | ccid-leak | opc-desync |
-                     # invalidation-leak
+                     # invalidation-leak | freed-frame
     level: str       # L1D | L1I | L2
     vpn: int         # 4K group-space VPN the check ran at
     pid: int         # process on whose behalf the check ran (or entry owner)
@@ -71,6 +76,9 @@ class TranslationSanitizer:
         self.raise_on_violation = raise_on_violation
         self.violations = []
         self.checks = 0
+        #: Freed-and-not-yet-reallocated PPNs (fed by the kernel's
+        #: teardown paths through ``kernel.on_frames_freed``).
+        self._quarantine = set()
 
     # -- recording ---------------------------------------------------------
 
@@ -121,11 +129,35 @@ class TranslationSanitizer:
                 return pte, table
         return None, None
 
+    # -- freed-frame quarantine --------------------------------------------
+
+    def quarantine_frames(self, ppns):
+        """Teardown freed these PPNs: any TLB traffic resolving to one
+        (while it stays free) is a use-after-free translation. Wired as
+        ``kernel.on_frames_freed`` by the simulator."""
+        self._quarantine.update(ppns)
+
+    def _check_freed_frame(self, level, proc, entry, vpn_group, site):
+        if entry.ppn not in self._quarantine:
+            return
+        if self.kernel.allocator.refcount(entry.ppn) > 0:
+            # Reallocated since it was freed: no longer quarantined. A
+            # stale entry pointing here is caught by the walk-based
+            # checks instead (ppn-mismatch / stale-entry).
+            self._quarantine.discard(entry.ppn)
+            return
+        self._record(
+            "freed-frame", level, vpn_group, proc.pid,
+            "%s resolves to ppn=%#x, which teardown freed and the "
+            "allocator has not reissued — a dead translation outlived "
+            "its frame" % (site, entry.ppn))
+
     # -- fill / hit checks -------------------------------------------------
 
     def check_hit(self, level, proc, entry, vpn_group):
         """A TLB hit served ``proc`` at ``vpn_group`` from ``entry``."""
         self.checks += 1
+        self._check_freed_frame(level, proc, entry, vpn_group, "hit")
         pte, _table = self._arch_walk(proc, vpn_group)
         if pte is None:
             self._record(
@@ -158,6 +190,7 @@ class TranslationSanitizer:
     def check_fill(self, level, proc, entry, vpn_group):
         """``entry`` was just inserted for ``proc`` at ``vpn_group``."""
         self.checks += 1
+        self._check_freed_frame(level, proc, entry, vpn_group, "fill")
         pte, table = self._arch_walk(proc, vpn_group)
         if pte is None:
             self._record(
@@ -247,6 +280,10 @@ class TranslationSanitizer:
         if inv.scope is InvalidationScope.REGION_SHARED:
             return (not entry.o_bit and entry.ccid == inv.ccid
                     and region_of(_entry_vpn4k(entry)) == region_of(inv.vpn))
+        if inv.scope is InvalidationScope.PCID_FLUSH:
+            return entry.pcid == inv.pcid
+        if inv.scope is InvalidationScope.CCID_SHARED:
+            return not entry.o_bit and entry.ccid == inv.ccid
         return False
 
     # -- full-state scan ---------------------------------------------------

@@ -45,6 +45,14 @@ class MaskPage:
     1GB), each pmd_t entry gets its own pid_list (32 writers per 2MB
     range). The hardware cost is one more pointer dereference when
     loading a PC bitmask; the TLB field stays 32 bits.
+
+    Slot lifetime: a pid_list slot is *positional* — position *i* owns
+    bit *i* of every PC bitmask in scope — so reclaiming a dead writer
+    (:meth:`release_pid`) leaves a ``None`` hole rather than compacting
+    the list: surviving writers keep their bit indices (and so their
+    TLB-resident bitmask snapshots keep meaning the same thing).
+    :meth:`assign_bit` refills holes first, so a churning group never
+    exhausts its 32 slots on dead pids.
     """
 
     def __init__(self, ccid, region, frame=None,
@@ -75,9 +83,10 @@ class MaskPage:
             return None
 
     def assign_bit(self, pid, pmd_index=None):
-        """First CoW by ``pid`` in the scope: append to its pid_list.
+        """First CoW by ``pid`` in the scope: claim a slot in its
+        pid_list — a reclaimed hole first, a fresh slot otherwise.
 
-        Raises :class:`MaskPageFull` when the list already holds 32
+        Raises :class:`MaskPageFull` when all 32 slots hold *live*
         writers.
         """
         pid_list = self._list_for(pmd_index if self.per_range else None)
@@ -85,12 +94,70 @@ class MaskPage:
             return pid_list.index(pid)
         except ValueError:
             pass
+        for bit, slot in enumerate(pid_list):
+            if slot is None:
+                pid_list[bit] = pid
+                return bit
         if len(pid_list) >= self.max_writers:
             raise MaskPageFull(
                 "region %#x of CCID %d already has %d writers"
                 % (self.region, self.ccid, self.max_writers))
         pid_list.append(pid)
         return len(pid_list) - 1
+
+    def release_pid(self, pid):
+        """A writer exited: free its slot(s) and clear its bit from every
+        PC bitmask it had set. Returns the pmd indexes whose bitmask
+        changed (the caller recomputes ORPC for those ranges). Surviving
+        writers keep their positions (``None`` holes, refilled by
+        :meth:`assign_bit`).
+        """
+        changed = []
+        if self.per_range:
+            for pmd_index, pid_list in self._range_pid_lists.items():
+                if pid in pid_list:
+                    if self._clear(pid_list, pid_list.index(pid), pmd_index):
+                        changed.append(pmd_index)
+            for pmd_index in [i for i, lst in self._range_pid_lists.items()
+                              if not any(s is not None for s in lst)]:
+                del self._range_pid_lists[pmd_index]
+        elif pid in self.pid_list:
+            bit = self.pid_list.index(pid)
+            self.pid_list[bit] = None
+            for pmd_index in list(self._masks):
+                if self._clear_mask_bit(pmd_index, bit):
+                    changed.append(pmd_index)
+            while self.pid_list and self.pid_list[-1] is None:
+                self.pid_list.pop()
+        return changed
+
+    def _clear(self, pid_list, bit, pmd_index):
+        pid_list[bit] = None
+        while pid_list and pid_list[-1] is None:
+            pid_list.pop()
+        return self._clear_mask_bit(pmd_index, bit)
+
+    def _clear_mask_bit(self, pmd_index, bit):
+        mask = self._masks.get(pmd_index, 0)
+        if not (mask >> bit) & 1:
+            return False
+        mask &= ~(1 << bit)
+        if mask:
+            self._masks[pmd_index] = mask
+        else:
+            self._masks.pop(pmd_index, None)
+        return True
+
+    @property
+    def empty(self):
+        """No live writers and no set bitmask bits: the page (and its
+        frame) can be dropped."""
+        return self.writers == 0 and not self._masks
+
+    @property
+    def has_private_copies(self):
+        """Any range in the region still has a set PC-bitmask bit."""
+        return bool(self._masks)
 
     def set_private(self, bit, pmd_index):
         """Record that bit-holder has a private copy of the 2MB range."""
@@ -105,8 +172,9 @@ class MaskPage:
     @property
     def writers(self):
         if self.per_range:
-            return sum(len(lst) for lst in self._range_pid_lists.values())
-        return len(self.pid_list)
+            return sum(sum(1 for s in lst if s is not None)
+                       for lst in self._range_pid_lists.values())
+        return sum(1 for s in self.pid_list if s is not None)
 
     def __repr__(self):
         return "<MaskPage ccid=%d region=%#x writers=%d masks=%d>" % (

@@ -20,6 +20,7 @@ This is the BabelFish page-table policy plugged into
 
 from repro.hw.types import ENTRIES_PER_TABLE
 from repro.core.mask_page import (
+    REGION_SHIFT,
     MaskPageDirectory,
     MaskPageFull,
     pmd_index_of,
@@ -426,3 +427,70 @@ class SharedPTManager(PrivatePTPolicy):
         for table in tables:
             if table.shared_key is not None:
                 self.registry.pop(table.shared_key, None)
+
+    def on_process_exit(self, kernel, proc):
+        """Exit-time O-PC reclamation: free the dead writer's MaskPage
+        slots, clear its bits from every PC bitmask, recompute the
+        affected tables' ORPC, and drop MaskPages that went empty
+        (freeing their frames).
+
+        Without this, ``MaskPage.pid_list`` only ever grows: a group that
+        churns more than 32 writers over its lifetime hits ``max_writers``
+        on mostly-dead pids and needlessly reverts the region to
+        non-shared translations. Returns one REGION_SHARED invalidation
+        per touched region — TLB entries there may carry PC-bitmask
+        snapshots with the dead writer's bit, and after reclamation that
+        bit can be handed to a *new* writer whose private copies the old
+        snapshots know nothing about.
+        """
+        if not proc.pc_bits:
+            return []
+        regions = {domain >> 9 if self.mask_dir.per_range_lists else domain
+                   for domain in proc.pc_bits}
+        invalidations = []
+        for region in sorted(regions):
+            region_vpn = region << REGION_SHIFT
+            page = self.mask_dir.get(proc.ccid, region_vpn)
+            if page is not None:
+                for pmd_index in page.release_pid(proc.pid):
+                    self._recompute_orpc(kernel, proc.ccid, region,
+                                         pmd_index, page)
+                if page.empty:
+                    self.mask_dir.drop(proc.ccid, region_vpn)
+            invalidations.append(TLBInvalidation(
+                region_vpn, InvalidationScope.REGION_SHARED,
+                ccid=proc.ccid))
+        proc.pc_bits.clear()
+        return invalidations
+
+    def _recompute_orpc(self, kernel, ccid, region, pmd_index, page):
+        """A range's PC bitmask changed; if it dropped to zero, clear the
+        covering shared table's ORPC so future fills stop paying the long
+        bitmask access (Figure 5b's saving, restored after churn)."""
+        if page.mask(pmd_index) != 0:
+            return
+        table = self._find_shared_table(
+            kernel, ccid, (ccid, PTE_LEVEL, (region << 9) | pmd_index))
+        if table is not None:
+            table.orpc = False
+            return
+        # Huge-page mode: the shared table is the PMD itself, whose ORPC
+        # flag covers every 2MB range in the region.
+        pmd = self._find_shared_table(kernel, ccid, (ccid, PMD, region))
+        if pmd is not None and not page.has_private_copies:
+            pmd.orpc = False
+
+    def _find_shared_table(self, kernel, ccid, key):
+        """The live shared table registered (or fork-shared) under
+        ``key``, if any group member still reaches it."""
+        found = self.registry.get(key)
+        if found is not None:
+            return found[0]
+        vpn = (key[2] << 9) if key[1] == PTE_LEVEL else (key[2] << REGION_SHIFT)
+        for member in kernel.processes.values():
+            if not member.alive or member.ccid != ccid:
+                continue
+            for _level, table, _index, _entry in member.tables.walk(vpn):
+                if table.shared_key == key and table.owned_by is None:
+                    return table
+        return None

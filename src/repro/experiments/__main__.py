@@ -13,10 +13,16 @@ same steady-state workload under ``fastpath=True`` and ``fastpath=False``,
 asserting bit-identical results and writing the accesses/sec ratio
 trajectory to ``BENCH_hotpath.json`` at the repo root.
 
+``churn`` runs the container lifecycle storm
+(:mod:`repro.experiments.churn`): hundreds of start/stop/restart cycles
+with mid-bring-up kills, the translation sanitizer on, and exact
+resource-leak accounting; exits nonzero on any violation or leak.
+
     python -m repro.experiments run --quick --jobs 4
     python -m repro.experiments trace --quick --out /tmp/obs-bf
     python -m repro.experiments cache --clear
     python -m repro.experiments perf --smoke
+    python -m repro.experiments churn --smoke
 """
 
 import argparse
@@ -104,6 +110,20 @@ def main(argv=None):
                              help="timing repeats per tier (default: "
                                   "the tier's own setting)")
 
+    churn_parser = sub.add_parser(
+        "churn", help="container lifecycle storm: start/stop/restart "
+                      "with leak + coherence checks")
+    churn_parser.add_argument("--cycles", type=int, default=500,
+                              help="launch/stop cycles (default 500)")
+    churn_parser.add_argument("--smoke", action="store_true",
+                              help="small CI tier (40 cycles)")
+    churn_parser.add_argument("--config", default="BabelFish",
+                              help="config name (default BabelFish)")
+    churn_parser.add_argument("--no-sanitize", action="store_true",
+                              help="skip the translation sanitizer "
+                                   "(leak checks still run)")
+    churn_parser.add_argument("--seed", type=int, default=1234)
+
     args = parser.parse_args(argv)
     if args.command == "cache":
         return _cache_command(args)
@@ -111,6 +131,8 @@ def main(argv=None):
         return _trace_command(trace_parser, args)
     if args.command == "perf":
         return _perf_command(perf_parser, args)
+    if args.command == "churn":
+        return _churn_command(churn_parser, args)
     return _run_command(run_parser, args)
 
 
@@ -190,6 +212,18 @@ def _perf_command(parser, args):
     from repro.experiments.perf import run_harness
     run_harness(smoke=args.smoke, out=args.out, repeats=args.repeats)
     return 0
+
+
+def _churn_command(parser, args):
+    if args.cycles < 1:
+        parser.error("--cycles must be a positive integer (got %d)"
+                     % args.cycles)
+    from repro.experiments.churn import format_churn, run_churn
+    cycles = 40 if args.smoke else args.cycles
+    result = run_churn(cycles=cycles, config_name=args.config,
+                       sanitize=not args.no_sanitize, seed=args.seed)
+    print(format_churn(result))
+    return 0 if result.clean else 1
 
 
 def _cache_command(args):

@@ -27,8 +27,19 @@ class InvalidationScope(enum.Enum):
     PROCESS = "process"
     #: Invalidate every shared entry of a CCID group in the VPN's 1GB
     #: region — used when a MaskPage overflows and the group reverts to
-    #: non-shared translations (Appendix).
+    #: non-shared translations (Appendix), and when a process exit
+    #: reclaims its PC-bitmask bit (stale bitmask snapshots must go).
     REGION_SHARED = "region_shared"
+    #: Flush every entry tagged with a PCID, regardless of VPN — process
+    #: exit (the full address space dies) and PCID recycling (the tag
+    #: changes hands; Linux pairs ASID reuse with the same flush). The
+    #: carried ``vpn`` is 0 and ignored.
+    PCID_FLUSH = "pcid_flush"
+    #: Flush every *shared* (O=0) entry of a CCID group, regardless of
+    #: VPN — issued when teardown frees shared page tables (last sharer
+    #: exited), whose group-visible translations no PCID flush covers.
+    #: The carried ``vpn`` is 0 and ignored.
+    CCID_SHARED = "ccid_shared"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -20,6 +20,7 @@ from repro.kernel.fault import (
     TLBInvalidation,
 )
 from repro.kernel.frames import FrameAllocator, FrameKind
+from repro.kernel.lifecycle import PCID_BITS, PCIDAllocator
 from repro.kernel.lru import ActiveInactiveLRU
 from repro.kernel.page_cache import FileObject, PageCache
 from repro.kernel.page_table import PMD, PTE, PTE_LEVEL, TableRef, table_index
@@ -33,6 +34,9 @@ HUGE_PAGES = ENTRIES_PER_TABLE  # 512 x 4KB = 2MB
 class KernelConfig:
     thp_enabled: bool = True
     costs: KernelCosts = dataclasses.field(default_factory=KernelCosts)
+    #: PCID namespace width; tests shrink it to exercise recycling
+    #: without spawning 2**12 processes.
+    pcid_bits: int = PCID_BITS
 
 
 class PrivatePTPolicy:
@@ -101,6 +105,12 @@ class PrivatePTPolicy:
     def on_tables_freed(self, kernel, tables):
         pass
 
+    def on_process_exit(self, kernel, proc):
+        """Reclaim policy-held per-process state (O-PC writer slots under
+        BabelFish). Returns the TLB invalidations the reclamation needs;
+        conventional tables hold no such state."""
+        return []
+
 
 class Kernel:
     def __init__(self, config=None, policy=None, allocator=None):
@@ -112,6 +122,17 @@ class Kernel:
         self.lru = ActiveInactiveLRU()
         self.processes = {}
         self.files = {}
+        self.pcids = PCIDAllocator(self.config.pcid_bits)
+        #: Callback applying kernel-initiated TLB invalidations (exit
+        #: flushes, PCID-recycle shootdowns) to every core; wired by the
+        #: simulator. None (no hardware attached) drops them — there are
+        #: no TLBs to go stale.
+        self.invalidation_sink = None
+        #: Callback receiving the PPNs a teardown actually freed
+        #: (refcount hit zero); the sanitizer quarantines them.
+        self.on_frames_freed = None
+        #: Optional :class:`repro.obs.tracer.Tracer` for lifecycle events.
+        self.tracer = None
         # Aggregate counters.
         self.forks = 0
         self.fork_table_pages_copied = 0
@@ -128,8 +149,10 @@ class Kernel:
     # -- process lifecycle ----------------------------------------------------
 
     def spawn(self, ccid, layout_group, layout_proc=None, name=""):
-        proc = Process(self.allocator, ccid, layout_group, layout_proc, name=name)
-        self.processes[proc.pid] = proc
+        pcid, recycled = self.pcids.allocate()
+        proc = Process(self.allocator, ccid, layout_group, layout_proc,
+                       name=name, pcid=pcid)
+        self._admit(proc, recycled)
         return proc
 
     def fork(self, parent, layout_proc=None, name=""):
@@ -138,10 +161,11 @@ class Kernel:
         Returns ``(child, cycles)`` — the cycle cost covers the table
         replication work that BabelFish's sharing avoids.
         """
+        pcid, recycled = self.pcids.allocate()
         child = Process(self.allocator, parent.ccid, parent.layout_group,
                         layout_proc or parent.layout_proc, parent=parent,
-                        name=name)
-        self.processes[child.pid] = child
+                        name=name, pcid=pcid)
+        self._admit(child, recycled)
         parent.mm.clone_into(child.mm)
         copied = self.policy.fork_tables(self, parent, child)
         self.forks += 1
@@ -149,26 +173,89 @@ class Kernel:
         cycles = self.costs.fork_base + copied * self.costs.fork_per_table_page
         return child, cycles
 
+    def _admit(self, proc, pcid_recycled):
+        self.processes[proc.pid] = proc
+        if pcid_recycled:
+            # The PCID changed hands: flush any straggler entries of its
+            # previous holder before the new process can match them
+            # (Linux pairs ASID reuse with the same scoped flush).
+            self._issue_invalidations(proc, [TLBInvalidation(
+                0, InvalidationScope.PCID_FLUSH, pcid=proc.pcid,
+                ccid=proc.ccid)])
+        if self.tracer is not None:
+            self.tracer.process_spawn(0, proc.pid, proc.pcid, proc.ccid,
+                                      pcid_recycled)
+
     def exit_process(self, proc):
+        """Tear down a process: shoot its translations out of every TLB,
+        then release its frames and PCID.
+
+        The ordering is the point: the PCID flush (the process's own
+        entries), the policy's reclamation invalidations (stale PC-bitmask
+        snapshots), and a group-wide shared flush for any shared tables
+        this exit is about to free all go out *before* a single frame is
+        decref'd — so there is no window in which a TLB can still
+        translate through a freed (and possibly recycled) frame. Returns
+        the freed table pages.
+        """
+        if proc.pid not in self.processes:
+            return []  # already torn down
         proc.alive = False
-        freed = self._teardown(proc.tables.pgd)
+        invalidations = [TLBInvalidation(
+            0, InvalidationScope.PCID_FLUSH, pcid=proc.pcid,
+            ccid=proc.ccid)]
+        invalidations.extend(self.policy.on_process_exit(self, proc))
+        if self._dooms_shared_tables(proc):
+            invalidations.append(TLBInvalidation(
+                0, InvalidationScope.CCID_SHARED, ccid=proc.ccid))
+        self._issue_invalidations(proc, invalidations)
+        freed_frames = []
+        freed = self._teardown(proc.tables.pgd, freed_frames=freed_frames)
         self.policy.on_tables_freed(self, freed)
         self.processes.pop(proc.pid, None)
+        self.pcids.release(proc.pcid)
+        if self.on_frames_freed is not None and freed_frames:
+            self.on_frames_freed(freed_frames)
+        if self.tracer is not None:
+            self.tracer.process_exit(0, proc.pid, proc.pcid, proc.ccid,
+                                     len(invalidations))
         return freed
 
-    def _teardown(self, table, freed=None):
-        """Release a table page and, recursively, exclusively-owned children."""
+    def _dooms_shared_tables(self, proc):
+        """Will tearing down ``proc`` free tables whose shared (O=0) TLB
+        entries other group members could still translate through?"""
+        return any(
+            table.shared_key is not None and table.owned_by is None
+            and table.sharers == 1
+            for table in proc.tables.iter_tables())
+
+    def _issue_invalidations(self, proc, invalidations):
+        if not invalidations:
+            return
+        self.shootdowns += len(invalidations)
+        if self.invalidation_sink is not None:
+            self.invalidation_sink(proc, invalidations)
+
+    def _teardown(self, table, freed=None, freed_frames=None):
+        """Release a table page and, recursively, exclusively-owned
+        children. ``freed_frames``, when given, collects the PPNs whose
+        refcount actually reached zero (for the sanitizer's freed-frame
+        quarantine)."""
         freed = freed if freed is not None else []
         for entry in table.entries.values():
             if isinstance(entry, TableRef):
                 child = entry.table
                 child.sharers -= 1
                 if child.sharers == 0:
-                    self._teardown(child, freed)
+                    self._teardown(child, freed, freed_frames)
             elif isinstance(entry, PTE) and entry.present:
-                self.allocator.decref(entry.ppn)
+                if self.allocator.decref(entry.ppn) == 0 \
+                        and freed_frames is not None:
+                    freed_frames.append(entry.ppn)
         table.entries.clear()
-        self.allocator.decref(table.frame)
+        if self.allocator.decref(table.frame) == 0 \
+                and freed_frames is not None:
+            freed_frames.append(table.frame)
         freed.append(table)
         return freed
 
@@ -202,6 +289,7 @@ class Kernel:
         """
         proc.mm.remove(vma)
         invalidations = []
+        freed_frames = []
         vpn = vma.start_vpn
         end = vma.end_vpn
         while vpn < end:
@@ -223,7 +311,14 @@ class Kernel:
                     parent.entries.pop(pindex, None)
                     table.sharers -= 1
                     if table.sharers == 0:
-                        freed = self._teardown(table)
+                        # Last sharer: the table's translations die with
+                        # it, and so must every shared (O=0) TLB entry
+                        # the group still holds for its range.
+                        invalidations.append(TLBInvalidation(
+                            vpn, InvalidationScope.REGION_SHARED,
+                            ccid=proc.ccid))
+                        freed = self._teardown(table,
+                                               freed_frames=freed_frames)
                         self.policy.on_tables_freed(self, freed)
                     invalidations.append(TLBInvalidation(
                         vpn, InvalidationScope.PROCESS,
@@ -236,14 +331,23 @@ class Kernel:
                     private_content=True)
                 entry = table.entries.get(index)
                 if not isinstance(entry, PTE):
+                    # The privatized (or reverted) table has no entry at
+                    # this index — there is nothing to zap. Advance past
+                    # the page explicitly: the seed code re-walked the
+                    # same vpn here, reaching this spot again after one
+                    # wasted walk per hole.
+                    vpn += 1
                     continue
             if entry.present:
-                self.allocator.decref(entry.ppn)
+                if self.allocator.decref(entry.ppn) == 0:
+                    freed_frames.append(entry.ppn)
             table.entries.pop(index, None)
             invalidations.append(TLBInvalidation(
                 vpn, InvalidationScope.PROCESS,
                 pcid=proc.pcid, ccid=proc.ccid))
             vpn += entry.page_size.base_pages
+        if self.on_frames_freed is not None and freed_frames:
+            self.on_frames_freed(freed_frames)
         return invalidations
 
     # -- page faults ------------------------------------------------------------

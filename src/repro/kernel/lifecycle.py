@@ -1,0 +1,78 @@
+"""Process lifecycle support: PCID allocation with recycling.
+
+Hardware PCIDs are a small namespace (12 bits on x86) while pids are
+unbounded, so a long-lived machine *must* recycle them. The seed code
+derived ``pcid = pid & ((1 << PCID_BITS) - 1)``, which silently aliases
+two **live** processes once pids wrap the PCID space — at that point a
+conventional TLB lookup (or a BabelFish Ownership-bit match, which also
+keys on the PCID) can serve one process's private translation to
+another. The allocator here gives every live process a unique PCID and
+only hands a value out again after its previous holder released it; like
+Linux's ASID allocator, reusing a PCID is paired with a full flush of
+that PCID's TLB footprint (the kernel issues the shootdown, see
+``Kernel.spawn``/``Kernel.fork``), so a recycled context starts from an
+empty TLB even if the exit-time flush was somehow lost.
+"""
+
+import collections
+
+#: Hardware PCID width (x86: 12 bits).
+PCID_BITS = 12
+
+
+class OutOfPCIDs(Exception):
+    """More live processes than the PCID namespace can tag."""
+
+
+class PCIDAllocator:
+    """Unique PCIDs for live processes; FIFO recycling of released ones.
+
+    PCID 0 is reserved (the no-PCID value on x86), leaving
+    ``2**bits - 1`` usable tags. Fresh values are preferred over
+    recycled ones so a recycled PCID re-enters circulation as late as
+    possible — by then its old TLB entries have almost certainly been
+    evicted, and the paired shootdown handles the rest.
+    """
+
+    def __init__(self, bits=PCID_BITS):
+        self.bits = bits
+        self.capacity = (1 << bits) - 1
+        self._next = 1
+        self._recycled = collections.deque()
+        self._live = set()
+        #: Times a previously-used PCID was handed out again.
+        self.recycles = 0
+
+    def allocate(self):
+        """Return ``(pcid, recycled)`` for a new process.
+
+        ``recycled`` tells the caller a scoped shootdown is required
+        before the new process runs (stale entries of the previous
+        holder may still be resident).
+        """
+        if self._next <= self.capacity:
+            pcid = self._next
+            self._next += 1
+            self._live.add(pcid)
+            return pcid, False
+        if not self._recycled:
+            raise OutOfPCIDs(
+                "all %d PCIDs are held by live processes" % self.capacity)
+        pcid = self._recycled.popleft()
+        self._live.add(pcid)
+        self.recycles += 1
+        return pcid, True
+
+    def release(self, pcid):
+        """Return a PCID to the pool (process exit)."""
+        if pcid in self._live:
+            self._live.discard(pcid)
+            self._recycled.append(pcid)
+
+    def is_live(self, pcid):
+        return pcid in self._live
+
+    @property
+    def live(self):
+        """Number of PCIDs currently held by live processes."""
+        return len(self._live)

@@ -10,19 +10,23 @@ its own randomized layout and the MMU's transformation bridges the two.
 
 import itertools
 
+from repro.kernel.lifecycle import PCID_BITS
 from repro.kernel.page_table import AddressSpaceTables
 from repro.kernel.vma import MM
-
-PCID_BITS = 12
 
 
 class Process:
     _pids = itertools.count(100)
 
     def __init__(self, allocator, ccid, layout_group, layout_proc=None,
-                 parent=None, name=""):
+                 parent=None, name="", pcid=None):
         self.pid = next(Process._pids)
-        self.pcid = self.pid & ((1 << PCID_BITS) - 1)
+        #: The kernel injects an allocator-managed PCID (unique among
+        #: live processes, recycled with a shootdown). The pid-derived
+        #: fallback exists only for directly-constructed processes in
+        #: unit tests — it ALIASES once pids wrap the PCID space.
+        self.pcid = (pcid if pcid is not None
+                     else self.pid & ((1 << PCID_BITS) - 1))
         self.ccid = ccid
         self.layout_group = layout_group
         self.layout_proc = layout_proc or layout_group

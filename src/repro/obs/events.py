@@ -14,12 +14,12 @@ container-interleaving timelines.
 """
 
 #: Event type codes (tuple slot 0).
-TLB_HIT, TLB_MISS, PAGE_WALK, FAULT, SCHED_SWITCH, INVALIDATION, QUANTUM = \
-    range(7)
+(TLB_HIT, TLB_MISS, PAGE_WALK, FAULT, SCHED_SWITCH, INVALIDATION, QUANTUM,
+ PROCESS_SPAWN, PROCESS_EXIT) = range(9)
 
 #: Code -> wire name (JSONL ``event`` field).
 NAMES = ("TLB_HIT", "TLB_MISS", "PAGE_WALK", "FAULT", "SCHED_SWITCH",
-         "INVALIDATION", "QUANTUM")
+         "INVALIDATION", "QUANTUM", "PROCESS_SPAWN", "PROCESS_EXIT")
 
 #: Per-type field names for tuple slots 4+.
 FIELDS = (
@@ -38,6 +38,12 @@ FIELDS = (
     ("vpn", "scope"),
     # QUANTUM: one scheduler quantum on a core; ``cycle`` is its start.
     ("end_cycle", "instructions"),
+    # PROCESS_SPAWN: lifecycle birth; recycled marks a reused PCID (the
+    # kernel paired it with a PCID_FLUSH shootdown).
+    ("pcid", "ccid", "recycled"),
+    # PROCESS_EXIT: lifecycle death; invalidations counts the exit-time
+    # shootdowns (PCID flush + O-PC reclamation + shared-table flush).
+    ("pcid", "ccid", "invalidations"),
 )
 
 PROVENANCE_SHARED = "shared"

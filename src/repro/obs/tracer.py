@@ -34,6 +34,7 @@ class TraceOptions:
     faults: bool = True
     sched: bool = True
     invalidations: bool = True
+    lifecycle: bool = True
 
 
 def resolve_trace_options(trace):
@@ -152,6 +153,24 @@ class Tracer:
         self._emit((ev.INVALIDATION, core, self._clock.get(core, 0), pid,
                     vpn, scope))
         self.registry.counter("invalidations", scope=scope).inc()
+
+    def process_spawn(self, core, pid, pcid, ccid, recycled):
+        if not self.options.lifecycle:
+            return
+        self._emit((ev.PROCESS_SPAWN, core, self._clock.get(core, 0), pid,
+                    pcid, ccid, recycled))
+        self.registry.counter("process_spawns").inc()
+        if recycled:
+            self.registry.counter("pcid_recycles").inc()
+
+    def process_exit(self, core, pid, pcid, ccid, invalidations):
+        if not self.options.lifecycle:
+            return
+        self._emit((ev.PROCESS_EXIT, core, self._clock.get(core, 0), pid,
+                    pcid, ccid, invalidations))
+        self.registry.counter("process_exits").inc()
+        if invalidations:
+            self.registry.counter("exit_invalidations").inc(invalidations)
 
     def quantum(self, core, pid, start_cycle, end_cycle, instructions):
         if not self.options.sched:

@@ -492,6 +492,20 @@ class MMU:
             self.l1d.flush(pred)
             self.l1i.flush(pred)
             self.l2.flush(pred)
+        elif inv.scope is InvalidationScope.PCID_FLUSH:
+            # Process exit / PCID recycle: every entry tagged with the
+            # PCID goes, whatever its VPN (inv.vpn is 0 and ignored).
+            pred = lambda e: e.pcid == inv.pcid
+            self.l1d.flush(pred)
+            self.l1i.flush(pred)
+            self.l2.flush(pred)
+        elif inv.scope is InvalidationScope.CCID_SHARED:
+            # Teardown freed shared tables: every group-shared (O=0)
+            # entry of the CCID goes (no PCID flush covers them).
+            pred = lambda e: (not e.o_bit) and e.ccid == inv.ccid
+            self.l1d.flush(pred)
+            self.l1i.flush(pred)
+            self.l2.flush(pred)
         if self.sanitizer is not None:
             self.sanitizer.check_invalidation(self, proc, inv)
 

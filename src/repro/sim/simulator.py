@@ -60,6 +60,13 @@ class Simulator:
             mmu.sanitizer = self.sanitizer
             mmu.tracer = self.tracer
             mmu.walker.tracer = self.tracer
+        # Kernel-initiated shootdowns (process exit, PCID recycling)
+        # reach every core the same way fault-time ones do, and teardown
+        # reports freed frames into the sanitizer's quarantine.
+        kernel.invalidation_sink = self._broadcast_invalidations
+        kernel.tracer = self.tracer
+        if self.sanitizer is not None:
+            kernel.on_frames_freed = self.sanitizer.quarantine_frames
         self.scheduler = Scheduler(machine.cores, config.quantum_instructions)
         self.scheduler.tracer = self.tracer
         self.core_cycles = [0] * machine.cores
@@ -76,6 +83,14 @@ class Simulator:
         """Attach a process and its trace iterator to a core's run queue."""
         self._traces[proc.pid] = iter(trace)
         self.scheduler.assign(proc, core_id)
+
+    def detach(self, proc):
+        """Yank a process mid-run (random-kill fault injection in the
+        churn experiment): its trace and run-queue slot are dropped
+        without completing, leaving whatever TLB/cache state it built for
+        the exit path to clean up."""
+        self._traces.pop(proc.pid, None)
+        self.scheduler.remove(proc)
 
     def _broadcast_invalidations(self, proc, invalidations):
         for inv in invalidations:

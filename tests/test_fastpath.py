@@ -63,6 +63,22 @@ def test_trace_mode_bit_identical():
     assert fast == ref
 
 
+def test_churn_stop_restart_stream_bit_identical():
+    # Container churn is the hard case for the memo/epoch machinery:
+    # every stop fires PCID/CCID-scoped flushes mid-stream and every
+    # restart reuses cores (and, past the wrap, PCIDs). The summary is
+    # pid-free and deterministic, so fast and reference runs of the
+    # same seed must agree bit for bit.
+    from repro.experiments.churn import run_churn
+
+    fast = run_churn(cycles=25, sanitize=False, fastpath=True,
+                     pcid_bits=4, kill_rate=0.2, seed=11)
+    ref = run_churn(cycles=25, sanitize=False, fastpath=False,
+                    pcid_bits=4, kill_rate=0.2, seed=11)
+    assert fast.pcid_recycles > 0  # the storm actually wrapped
+    assert fast.summary() == ref.summary()
+
+
 def test_reset_measurement_mid_run_identical():
     # run_hot warms, calls reset_measurement(), then measures — the memo
     # and epochs survive the reset (stats objects are replaced, not the

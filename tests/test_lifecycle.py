@@ -1,0 +1,334 @@
+"""Lifecycle correctness: exit shootdowns, PCID recycling, slot and
+frame reclamation (repro.kernel.lifecycle and the teardown paths).
+
+Three of these are regressions for seed bugs:
+
+- ``test_exit_flushes_*``: process exit issued no TLB invalidations at
+  all, so entries tagged with the dead PCID (and entries resolving to
+  freed frames) survived in every core's TLBs.
+- ``TestPCIDRecycling``: ``pcid = pid & 0xfff`` aliased two live
+  processes once pids wrapped the PCID space.
+- ``test_cow_exit_cycles_never_exhaust_slots``: ``MaskPage.pid_list``
+  was append-only, so sequential CoW-then-exit churn burned through the
+  32 writer slots and spuriously reverted the region.
+"""
+
+import pytest
+
+from conftest import MiniSystem
+
+from repro.core.aslr import ASLRMode, group_layout_for
+from repro.core.ccid import CCIDRegistry
+from repro.experiments.common import config_by_name
+from repro.hw.params import baseline_machine
+from repro.hw.types import AccessKind
+from repro.kernel.fault import InvalidationScope
+from repro.kernel.frames import FrameKind
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.lifecycle import OutOfPCIDs, PCIDAllocator
+from repro.kernel.vma import SegmentKind, VMAKind
+from repro.sim.simulator import Simulator
+
+HEAP, MMAP, DATA = SegmentKind.HEAP, SegmentKind.MMAP, SegmentKind.DATA
+
+
+# -- PCID allocator -----------------------------------------------------------
+
+
+class TestPCIDAllocator:
+    def test_fresh_pcids_are_monotonic_and_nonzero(self):
+        alloc = PCIDAllocator(bits=4)
+        got = [alloc.allocate() for _ in range(5)]
+        assert [pcid for pcid, _ in got] == [1, 2, 3, 4, 5]
+        assert not any(recycled for _, recycled in got)
+        assert alloc.live == 5
+
+    def test_recycles_fifo_only_after_namespace_exhausted(self):
+        alloc = PCIDAllocator(bits=2)  # capacity 3 (pcid 0 reserved)
+        a, b, c = (alloc.allocate()[0] for _ in range(3))
+        alloc.release(b)
+        alloc.release(a)
+        # Released values come back in release order, flagged recycled.
+        assert alloc.allocate() == (b, True)
+        assert alloc.allocate() == (a, True)
+        assert alloc.recycles == 2
+        assert alloc.is_live(c)
+
+    def test_exhaustion_raises(self):
+        alloc = PCIDAllocator(bits=2)
+        for _ in range(3):
+            alloc.allocate()
+        with pytest.raises(OutOfPCIDs):
+            alloc.allocate()
+
+    def test_release_is_idempotent(self):
+        # A double release must queue the PCID once, not twice —
+        # otherwise one value could be handed to two live processes.
+        alloc = PCIDAllocator(bits=2)
+        pcid, _ = alloc.allocate()
+        alloc.release(pcid)
+        alloc.release(pcid)
+        for _ in range(2):  # drain the remaining fresh values
+            alloc.allocate()
+        assert alloc.allocate() == (pcid, True)
+        with pytest.raises(OutOfPCIDs):
+            alloc.allocate()
+
+
+# -- kernel-level PCID recycling (seed: pcid = pid & mask) --------------------
+
+
+def _bare_kernel(pcid_bits):
+    registry = CCIDRegistry()
+    group = registry.group_for("tenant", "wrap")
+    layout = group_layout_for(group, ASLRMode.INHERITED)
+    kernel = Kernel(KernelConfig(pcid_bits=pcid_bits))
+    return kernel, group, layout
+
+
+class TestPCIDRecycling:
+    def test_no_two_live_processes_alias_past_the_wrap(self):
+        # Seed bug: with pcid = pid & 0xf, a long-lived process and a
+        # short-lived one spawned 16 pids later carried the same PCID
+        # while both alive. Spawn/exit far past the 15-wide namespace
+        # with one keeper alive throughout.
+        kernel, group, layout = _bare_kernel(pcid_bits=4)
+        keeper = kernel.spawn(group.ccid, layout, name="keeper")
+        for i in range(40):
+            proc = kernel.spawn(group.ccid, layout, name="p%d" % i)
+            live = [p.pcid for p in kernel.processes.values()]
+            assert len(live) == len(set(live)), "aliased PCIDs: %r" % live
+            assert 0 not in live
+            kernel.exit_process(proc)
+        assert kernel.pcids.recycles > 0
+        assert kernel.pcids.is_live(keeper.pcid)
+
+    def test_recycled_pcid_spawn_issues_scoped_flush(self):
+        kernel, group, layout = _bare_kernel(pcid_bits=2)  # capacity 3
+        seen = []
+        kernel.invalidation_sink = (
+            lambda proc, invs: seen.extend((proc.pid, inv) for inv in invs))
+        procs = [kernel.spawn(group.ccid, layout, name="p%d" % i)
+                 for i in range(3)]
+        assert not any(inv.scope is InvalidationScope.PCID_FLUSH
+                       for _pid, inv in seen)
+        released = procs[0].pcid
+        kernel.exit_process(procs[0])
+        reuser = kernel.spawn(group.ccid, layout, name="reuser")
+        assert reuser.pcid == released
+        flushes = [(pid, inv) for pid, inv in seen
+                   if inv.scope is InvalidationScope.PCID_FLUSH
+                   and pid == reuser.pid]
+        assert flushes and flushes[-1][1].pcid == released
+
+    def test_spawn_past_capacity_raises(self):
+        kernel, group, layout = _bare_kernel(pcid_bits=2)
+        for i in range(3):
+            kernel.spawn(group.ccid, layout, name="p%d" % i)
+        with pytest.raises(OutOfPCIDs):
+            kernel.spawn(group.ccid, layout, name="overflow")
+
+
+# -- exit-time TLB shootdowns (seed: none were issued) ------------------------
+
+
+def _all_entries(mmu):
+    for multi in (mmu.l1d, mmu.l1i, mmu.l2):
+        yield from multi.entries()
+
+
+@pytest.mark.parametrize("babelfish", [False, True],
+                         ids=["baseline", "babelfish"])
+def test_exit_flushes_dead_process_translations(babelfish):
+    mini = MiniSystem(babelfish=babelfish)
+    config = config_by_name("BabelFish" if babelfish else "Baseline")
+    sim = Simulator(baseline_machine(cores=1), config, mini.kernel)
+    mmu = sim.mmus[0]
+    child = mini.fork("victim")
+    survivor = mini.fork("survivor")
+    for off in range(4):
+        mmu.translate(child, HEAP, off, AccessKind.STORE)
+        mmu.translate(child, MMAP, off, AccessKind.LOAD)
+        mmu.translate(survivor, MMAP, off, AccessKind.LOAD)
+    assert any(e.pcid == child.pcid for e in _all_entries(mmu))
+
+    mini.group.remove(child)
+    mini.kernel.exit_process(child)
+
+    # Seed failure mode 1: entries tagged with the dead PCID survive.
+    assert not any(e.pcid == child.pcid for e in _all_entries(mmu))
+    # Seed failure mode 2: a surviving entry resolves to a freed frame.
+    for entry in _all_entries(mmu):
+        assert mini.kernel.allocator.refcount(entry.ppn) > 0, \
+            "TLB entry for vpn %#x points at a freed frame" % entry.vpn
+    # The survivor still translates (via surviving entries or a re-walk).
+    again = mmu.translate(survivor, MMAP, 0, AccessKind.LOAD)
+    assert again.ppn4k
+
+
+def test_exit_invalidates_before_freeing_frames(mini_babelfish):
+    # The ordering invariant behind the shootdown-before-decref rule:
+    # every exit-time invalidation reaches the cores before any frame
+    # is released for reuse.
+    mini = mini_babelfish
+    child = mini.fork("victim")
+    mini.touch(child, HEAP, 0, write=True)
+    events = []
+    mini.kernel.invalidation_sink = (
+        lambda proc, invs: events.append(("inv", [i.scope for i in invs])))
+    mini.kernel.on_frames_freed = (
+        lambda ppns: events.append(("freed", sorted(ppns))))
+    mini.group.remove(child)
+    mini.kernel.exit_process(child)
+    kinds = [kind for kind, _payload in events]
+    assert "inv" in kinds and "freed" in kinds
+    assert kinds.index("inv") < kinds.index("freed")
+    scopes = [s for kind, payload in events if kind == "inv"
+              for s in payload]
+    assert InvalidationScope.PCID_FLUSH in scopes
+    freed = [p for kind, payload in events if kind == "freed"
+             for p in payload]
+    assert freed  # the CoW copy at least
+
+
+def test_exit_is_idempotent(mini_babelfish):
+    mini = mini_babelfish
+    child = mini.fork("victim")
+    mini.touch(child, HEAP, 0, write=True)
+    mini.group.remove(child)
+    mini.kernel.exit_process(child)
+    shootdowns = mini.kernel.shootdowns
+    assert mini.kernel.exit_process(child) == []
+    assert mini.kernel.shootdowns == shootdowns
+
+
+def test_sanitizer_quarantine_catches_lost_shootdown(mini_babelfish):
+    # Defence in depth: if the exit-time IPIs were somehow lost, a hit
+    # on a surviving entry that resolves to a freed frame must be a
+    # recorded "freed-frame" violation, not a silent wrong translation.
+    mini = mini_babelfish
+    config = config_by_name("BabelFish", sanitize=True)
+    sim = Simulator(baseline_machine(cores=1), config, mini.kernel)
+    mmu = sim.mmus[0]
+    child = mini.fork("victim")
+    mmu.translate(child, HEAP, 0, AccessKind.STORE)
+    stale = [e for e in _all_entries(mmu) if e.pcid == child.pcid]
+    assert stale
+    mini.kernel.invalidation_sink = lambda proc, invs: None  # lost IPI
+    mini.group.remove(child)
+    mini.kernel.exit_process(child)
+    victim_entry = next(e for e in stale
+                        if mini.kernel.allocator.refcount(e.ppn) == 0)
+    sim.sanitizer.check_hit("L1D", child, victim_entry,
+                            child.vpn_group(HEAP, 0))
+    assert any(v.kind == "freed-frame" for v in sim.sanitizer.violations)
+
+
+# -- MaskPage writer-slot reclamation (seed: append-only pid_list) ------------
+
+
+def test_cow_exit_cycles_never_exhaust_slots(mini_babelfish):
+    # 1000 sequential CoW-then-exit cycles against one region: with
+    # append-only slots the 33rd cycle overflowed the bitmask and
+    # reverted the region; with reclamation every cycle reuses slot 0
+    # and the MaskPage (and its frame) dies with its last writer.
+    mini = mini_babelfish
+    kernel, policy = mini.kernel, mini.policy
+    mini.touch(mini.zygote, DATA, 0)  # populate the shared table
+    mask_frames_before = kernel.allocator.count(FrameKind.MASK_PAGE)
+    for i in range(1000):
+        child = mini.fork("c%d" % i)
+        mini.touch(child, DATA, 0, write=True)  # CoW -> PC bit + slot
+        if i % 200 == 0:
+            assert all(page.writers <= 1 for page in policy.mask_dir)
+        mini.group.remove(child)
+        kernel.exit_process(child)
+    assert policy.reverts == 0
+    assert policy.mask_dir.total_pages == 0
+    assert kernel.allocator.count(FrameKind.MASK_PAGE) == mask_frames_before
+    # The shared table's ORPC filter is clear again: no private copies.
+    vpn = mini.zygote.vpn_group(DATA, 0)
+    table = mini.zygote.tables.walk(vpn)[-1][1]
+    assert table.orpc is False
+
+
+def test_surviving_writer_keeps_bit_position(mini_babelfish):
+    # Slot reclamation must not renumber the survivors' bits: entries
+    # cached in TLBs carry the old PC-bitmask positions.
+    mini = mini_babelfish
+    policy = mini.policy
+    mini.touch(mini.zygote, DATA, 0)
+    a, b = mini.fork("a"), mini.fork("b")
+    mini.touch(a, DATA, 0, write=True)
+    mini.touch(b, DATA, 1, write=True)
+    domain = policy.mask_domain(a.vpn_group(DATA, 0))
+    bit_b = b.pc_bits[domain]
+    mini.group.remove(a)
+    mini.kernel.exit_process(a)
+    assert b.pc_bits[domain] == bit_b
+    page = policy.mask_dir.get(b.ccid, b.vpn_group(DATA, 0))
+    assert page is not None and page.writers == 1
+    # The freed slot is refilled by the next writer, not appended.
+    c = mini.fork("c")
+    mini.touch(c, DATA, 2, write=True)
+    assert c.pc_bits[domain] == 0  # a's old slot
+    assert page.writers == 2
+
+
+# -- munmap partial-coverage hole (seed: re-walked the same vpn) --------------
+
+
+def test_munmap_partial_coverage_missing_index_terminates(
+        mini_babelfish, monkeypatch):
+    # A partially-covered shared table is privatized mid-munmap; the
+    # privatized (or region-reverted) table may have no entry at the
+    # target index. The seed code `continue`d without advancing, paying
+    # a full extra walk per hole; the fix advances past the page. The
+    # stub models the revert re-walk landing on unpopulated slots.
+    mini = mini_babelfish
+    kernel, policy = mini.kernel, mini.policy
+    part = kernel.create_file("part", 8)
+    kernel.page_cache.populate(part)
+    vma = kernel.mmap(mini.zygote, MMAP, 1536, 8, VMAKind.FILE_PRIVATE,
+                      file=part, writable=True, name="part")
+    for off in range(8):
+        mini.touch(mini.zygote, MMAP, 1536 + off)
+    child = mini.fork("child")
+
+    real_install = policy.install_target
+
+    def holed_install(kernel_, proc, vma_, vpn, table, index,
+                      private_content):
+        got_table, got_index, cycles = real_install(
+            kernel_, proc, vma_, vpn, table, index, private_content)
+        if vpn % 2:
+            pte = got_table.entries.pop(got_index, None)
+            if pte is not None and pte.present:
+                kernel.allocator.decref(pte.ppn)
+        return got_table, got_index, cycles
+
+    monkeypatch.setattr(policy, "install_target", holed_install)
+
+    walks = [0]
+    real_walk = child.tables.walk
+
+    def counting_walk(vpn):
+        walks[0] += 1
+        return real_walk(vpn)
+
+    monkeypatch.setattr(child.tables, "walk", counting_walk)
+
+    child_vma = child.mm.find(child.vpn_group(MMAP, 1536))
+    assert child_vma is not None
+    invs = kernel.munmap(child, child_vma)
+    # One walk per 4K page plus the one _swap_writer_ref does inside
+    # the single privatization; the seed re-walked every holed page
+    # (the four odd offsets) a second time, for 13.
+    assert walks[0] == 9
+    assert invs
+    for off in range(8):
+        assert child.tables.lookup_pte(child.vpn_group(MMAP, 1536 + off)) \
+            is None
+    # The zygote's view of the range is untouched.
+    assert mini.zygote.tables.lookup_pte(
+        mini.zygote.vpn_group(MMAP, 1536)) is not None
