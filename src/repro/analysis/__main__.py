@@ -1,8 +1,15 @@
 """``python -m repro.analysis``: lint the repository.
 
-Exits nonzero when findings remain. With no paths, lints the ``repro``
-package the module was imported from plus a sibling ``tests/`` directory
-when present, so a bare invocation covers the whole repo.
+With no paths, lints the ``repro`` package the module was imported from
+plus a sibling ``tests/`` directory when present, so a bare invocation
+covers the whole repo.
+
+Exit codes: ``0`` clean; ``1`` findings (errors by default; any new
+finding — warnings included — under ``--strict``); ``2`` usage errors.
+A checked-in ``analysis-baseline.json`` (multiset of accepted findings,
+line numbers ignored) is subtracted first; ``--write-baseline``
+regenerates it, ``--sarif-out`` / ``--format sarif`` emit SARIF 2.1.0
+for code-scanning upload.
 """
 
 import argparse
@@ -10,8 +17,12 @@ import json
 import pathlib
 import sys
 
+from repro.analysis import baseline as baseline_mod
 from repro.analysis.lint.engine import LintEngine
 from repro.analysis.lint.rules import rule_catalog
+from repro.analysis.sarif import to_sarif
+
+DEFAULT_BASELINE = "analysis-baseline.json"
 
 
 def default_paths():
@@ -27,14 +38,28 @@ def default_paths():
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Repo-aware lint: layering, determinism, and "
-                    "cycle-integrity contracts.")
+        description="Repo-aware lint: layering, determinism, "
+                    "cycle-integrity, epoch-coverage, teardown-ordering, "
+                    "and parallel-safety contracts.")
     parser.add_argument("paths", nargs="*", type=pathlib.Path,
                         help="files or directories (default: the repro "
                              "package and tests/)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="baseline file of accepted findings "
+                             "(default: ./%s when present)"
+                             % DEFAULT_BASELINE)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on any non-baselined finding, warnings "
+                             "included")
+    parser.add_argument("--sarif-out", type=pathlib.Path, default=None,
+                        help="also write SARIF 2.1.0 to this file")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -49,17 +74,52 @@ def main(argv=None):
             print("error: no such file or directory: %s" % p,
                   file=sys.stderr)
         return 2
+
+    root = pathlib.Path.cwd()
     findings = LintEngine().lint_paths(paths)
+
+    baseline_path = args.baseline or pathlib.Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        baseline_mod.write(baseline_path, findings, root)
+        print("wrote %d finding%s to %s"
+              % (len(findings), "" if len(findings) == 1 else "s",
+                 baseline_path))
+        return 0
+    try:
+        known = baseline_mod.load(baseline_path)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    fresh = baseline_mod.subtract(findings, known, root)
+    baselined = len(findings) - len(fresh)
+
+    sarif = None
+    if args.sarif_out is not None or args.format == "sarif":
+        sarif = to_sarif(fresh, root)
+    if args.sarif_out is not None:
+        args.sarif_out.write_text(json.dumps(sarif, indent=2) + "\n",
+                                  encoding="utf-8")
+
     if args.format == "json":
-        print(json.dumps({"count": len(findings),
-                          "findings": [f.as_dict() for f in findings]},
+        print(json.dumps({"count": len(fresh),
+                          "baselined": baselined,
+                          "findings": [f.as_dict() for f in fresh]},
                          indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif, indent=2))
     else:
-        for finding in findings:
+        for finding in fresh:
             print(finding.format())
-        print("%d finding%s" % (len(findings),
-                                "" if len(findings) == 1 else "s"))
-    return 1 if findings else 0
+        summary = "%d finding%s" % (len(fresh),
+                                    "" if len(fresh) == 1 else "s")
+        if baselined:
+            summary += " (%d baselined)" % baselined
+        print(summary)
+
+    if args.strict:
+        return 1 if fresh else 0
+    errors = [f for f in fresh if str(f.severity) == "error"]
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

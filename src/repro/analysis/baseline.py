@@ -1,0 +1,77 @@
+"""Finding baselines: accepted debt the CLI subtracts before failing.
+
+A baseline is a checked-in JSON file listing findings the repo has
+decided to live with (ideally none — ours is empty, and the point of
+``--strict`` is to keep it that way). Matching is a **multiset** over
+``(rule, path, message)`` — line numbers are deliberately excluded so an
+unrelated edit that shifts a baselined finding by a few lines does not
+resurrect it, while a *second* instance of the same finding in the same
+file still fails.
+"""
+
+import collections
+import json
+import pathlib
+
+VERSION = 1
+
+
+def normalize_path(path, root=None):
+    """Repo-relative POSIX form of ``path`` (falls back to as-given)."""
+    if root is not None:
+        try:
+            resolved = pathlib.Path(path).resolve()
+            return resolved.relative_to(
+                pathlib.Path(root).resolve()).as_posix()
+        except (ValueError, OSError):
+            pass
+    return pathlib.PurePath(path).as_posix()
+
+
+def identity(finding, root=None):
+    """The baseline key for one finding: line numbers excluded."""
+    return (finding.rule_id, normalize_path(finding.path, root),
+            finding.message)
+
+
+def load(path):
+    """Load a baseline file into a Counter of identities.
+
+    Missing file -> empty baseline. A malformed file raises ValueError:
+    silently ignoring a corrupt baseline would un-baseline everything and
+    fail CI with a misleading wall of findings.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return collections.Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data["findings"]
+        return collections.Counter(
+            (e["rule"], e["path"], e["message"]) for e in entries)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError("malformed baseline file %s: %s" % (path, exc))
+
+
+def write(path, findings, root=None):
+    """Rewrite ``path`` with the current findings as the new baseline."""
+    keys = sorted(identity(f, root) for f in findings)
+    entries = [{"rule": rule, "path": rel, "message": message}
+               for rule, rel, message in keys]
+    payload = {"version": VERSION, "findings": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def subtract(findings, known, root=None):
+    """Findings not covered by the ``known`` Counter (multiset subtract)."""
+    remaining = collections.Counter(known)
+    fresh = []
+    for finding in findings:
+        key = identity(finding, root)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

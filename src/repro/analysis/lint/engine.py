@@ -1,29 +1,48 @@
-"""The lint engine: one AST pass, pluggable visitor rules, suppression.
+"""The lint engine: one AST pass, pluggable rules, suppression hygiene.
 
 A rule subclasses :class:`LintRule` and defines ``visit_<NodeType>``
 methods (same naming as :class:`ast.NodeVisitor`). The engine parses each
 module once and dispatches every node to every interested rule, so adding
-rules does not add parse passes. Rules report through
-:meth:`LintContext.report`; the engine drops findings whose line carries a
-matching suppression comment::
+rules does not add parse passes. Rules that need whole-module dataflow
+(CFG/dominator rules) instead define ``check_module(tree, ctx)``, which
+the engine calls once per module after the visitor pass.
+
+Rules report through :meth:`LintContext.report`; the engine drops
+findings whose line carries a matching suppression comment::
 
     cycles = estimate / 2  # bfa: disable=BF301 -- justification here
 
 ``# bfa: disable`` with no rule list suppresses every rule on that line.
 Suppressions are per-line by design: a waiver should sit next to the code
-it excuses, with its justification after ``--``.
+it excuses, with its justification after ``--``. Suppressions are parsed
+from the token stream, so only real comments count — the same text inside
+a docstring or string literal (say, in this module's own documentation)
+is inert.
+
+The engine itself emits three findings no rule class owns:
+
+- ``BF000`` — the file does not parse (syntax error).
+- ``BF001`` — an unused suppression: a ``# bfa: disable`` comment (or one
+  rule id within it) that suppresses nothing. Warning severity;
+  ``--strict`` fails on it. BF001 is deliberately unsuppressable —
+  a bare ``# bfa: disable`` must not be able to excuse itself.
+- ``BF002`` — the file cannot be read or parsed at all (non-UTF-8 bytes,
+  null bytes): reported as a finding instead of crashing the run.
 """
 
 import ast
+import io
 import pathlib
 import re
+import tokenize
 
 from repro.analysis.findings import Finding, Severity
 
 #: Per-line suppression: ``# bfa: disable=BF101,BF203 -- why`` or
-#: ``# bfa: disable -- why``.
+#: ``# bfa: disable -- why``. Anchored: the directive must start the
+#: comment, so prose that merely mentions the syntax never suppresses.
 _SUPPRESS_RE = re.compile(
-    r"#\s*bfa:\s*disable(?:=(?P<rules>[A-Z0-9, ]+))?")
+    r"^#\s*bfa:\s*disable(?:=(?P<rules>[A-Z0-9, ]+))?")
 
 #: Packages that make up the simulated machine: code here runs inside the
 #: simulation's notion of time and must stay deterministic and integral.
@@ -71,8 +90,8 @@ class LintContext:
 
 class LintRule:
     """Base class for rules. Subclasses set ``rule_id``/``description`` and
-    define ``visit_<NodeType>`` methods; ``begin_module`` resets any
-    per-module state."""
+    define ``visit_<NodeType>`` methods and/or ``check_module(tree, ctx)``;
+    ``begin_module`` resets any per-module state."""
 
     rule_id = None
     severity = Severity.ERROR
@@ -87,18 +106,31 @@ class LintRule:
 
 
 def _parse_suppressions(source):
-    """Map line number -> set of suppressed rule ids (empty set = all)."""
+    """Map line number -> set of suppressed rule ids (empty set = all).
+
+    Token-based: only COMMENT tokens are considered, so suppression-shaped
+    text inside strings and docstrings does not register.
+    """
     suppressed = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        rules = match.group("rules")
-        if rules is None:
-            suppressed[lineno] = set()
-        else:
-            suppressed[lineno] = {r.strip() for r in rules.split(",")
-                                  if r.strip()}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.match(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                suppressed[tok.start[0]] = set()
+            else:
+                suppressed[tok.start[0]] = {r.strip()
+                                            for r in rules.split(",")
+                                            if r.strip()}
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file that does not tokenize already earns BF000/BF002; its
+        # suppressions (if any) are moot.
+        pass
     return suppressed
 
 
@@ -117,8 +149,16 @@ class LintEngine:
         try:
             tree = ast.parse(source, filename=module.path)
         except SyntaxError as exc:
+            # Null bytes raise ValueError on 3.9-3.11 but SyntaxError on
+            # 3.12+: classify them as BF002 (unparseable input) on both.
+            if "null byte" in (exc.msg or ""):
+                return [Finding("BF002", Severity.ERROR, module.path, 0,
+                                "unparseable source: %s" % exc.msg)]
             return [Finding("BF000", Severity.ERROR, module.path,
                             exc.lineno or 0, "syntax error: %s" % exc.msg)]
+        except ValueError as exc:
+            return [Finding("BF002", Severity.ERROR, module.path, 0,
+                            "unparseable source: %s" % exc)]
         findings = []
         context = LintContext(module, findings.append)
         active = []
@@ -128,8 +168,8 @@ class LintEngine:
                 active.append(rule)
         if active:
             self._dispatch(tree, active, context)
-        suppressed = _parse_suppressions(source)
-        return [f for f in findings if not self._is_suppressed(f, suppressed)]
+            self._module_checks(tree, active, context)
+        return self._apply_suppressions(findings, source, module)
 
     def _dispatch(self, tree, rules, context):
         # Bind each rule's visitor methods by node-type name once, then
@@ -147,18 +187,60 @@ class LintEngine:
                 handler(node, context)
         context._rule = None
 
-    @staticmethod
-    def _is_suppressed(finding, suppressed):
-        rules = suppressed.get(finding.line)
-        if rules is None:
-            return False
-        return not rules or finding.rule_id in rules
+    def _module_checks(self, tree, rules, context):
+        # Whole-module (CFG/dataflow) rules run after the visitor pass.
+        for rule in rules:
+            check = getattr(rule, "check_module", None)
+            if check is None:
+                continue
+            context._rule = rule
+            check(tree, context)
+        context._rule = None
+
+    def _apply_suppressions(self, findings, source, module):
+        """Filter suppressed findings; flag suppressions that earn nothing.
+
+        Usage is tracked per rule id: ``# bfa: disable=BF101,BF301`` with
+        only a BF101 finding on the line leaves the BF301 half stale and
+        reported as BF001. BF001 itself cannot be suppressed.
+        """
+        suppressed = _parse_suppressions(source)
+        used = {}  # lineno -> rule ids this suppression actually absorbed
+        kept = []
+        for finding in findings:
+            rules = suppressed.get(finding.line)
+            if rules is not None and (not rules
+                                      or finding.rule_id in rules):
+                used.setdefault(finding.line, set()).add(finding.rule_id)
+            else:
+                kept.append(finding)
+        for lineno in sorted(suppressed):
+            rules = suppressed[lineno]
+            absorbed = used.get(lineno, set())
+            if not rules:
+                if not absorbed:
+                    kept.append(Finding(
+                        "BF001", Severity.WARNING, module.path, lineno,
+                        "unused suppression: '# bfa: disable' absorbs no "
+                        "finding on this line — remove it"))
+                continue
+            for rule_id in sorted(rules - absorbed):
+                kept.append(Finding(
+                    "BF001", Severity.WARNING, module.path, lineno,
+                    "unused suppression: no %s finding on this line — "
+                    "drop %s from the disable list" % (rule_id, rule_id)))
+        return sorted(kept, key=lambda f: (f.line, f.rule_id))
 
     # -- trees -------------------------------------------------------------
 
     def lint_file(self, path):
         path = pathlib.Path(path)
-        return self.lint_source(path.read_text(encoding="utf-8"), str(path))
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (UnicodeDecodeError, OSError) as exc:
+            return [Finding("BF002", Severity.ERROR, str(path), 0,
+                            "unreadable file: %s" % exc)]
+        return self.lint_source(source, str(path))
 
     def lint_paths(self, paths):
         """Lint files and/or directory trees; returns sorted findings."""

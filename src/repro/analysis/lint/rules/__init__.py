@@ -6,7 +6,13 @@ from repro.analysis.lint.rules.determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.analysis.lint.rules.epochs import EpochCoverageRule
 from repro.analysis.lint.rules.layering import LayeringRule
+from repro.analysis.lint.rules.lifecycle_order import TeardownOrderRule
+from repro.analysis.lint.rules.parallel_safety import (
+    ParallelSafetyRule,
+    UnorderedFoldRule,
+)
 
 _RULE_CLASSES = (
     LayeringRule,
@@ -15,6 +21,21 @@ _RULE_CLASSES = (
     UnorderedIterationRule,
     FloatCyclesRule,
     BareAssertRule,
+    EpochCoverageRule,
+    TeardownOrderRule,
+    ParallelSafetyRule,
+    UnorderedFoldRule,
+)
+
+#: Findings the engine emits itself (no rule class): parse failures and
+#: suppression hygiene. Listed here so ``--list-rules`` and the SARIF
+#: rule table cover every id the engine can produce.
+ENGINE_RULES = (
+    ("BF000", "file does not parse: syntax error reported as a finding"),
+    ("BF001", "unused suppression: '# bfa: disable=...' that suppresses "
+              "nothing (warning; --strict fails on it)"),
+    ("BF002", "unreadable file: non-UTF-8 bytes or other parse crash "
+              "reported as a finding instead of aborting the engine"),
 )
 
 
@@ -24,5 +45,11 @@ def all_rules():
 
 
 def rule_catalog():
-    """(rule_id, description) pairs, sorted by id — for ``--list-rules``."""
-    return sorted((cls.rule_id, cls.description) for cls in _RULE_CLASSES)
+    """(rule_id, description) pairs, sorted by id — for ``--list-rules``.
+
+    Includes the engine-level pseudo-rules (BF000/BF001/BF002) alongside
+    the visitor/dataflow rule classes.
+    """
+    entries = [(cls.rule_id, cls.description) for cls in _RULE_CLASSES]
+    entries.extend(ENGINE_RULES)
+    return sorted(entries)

@@ -1,0 +1,107 @@
+"""BF501: teardown ordering — shootdowns before frame frees (``kernel/``).
+
+All three PR 5 churn bugs were the same shape: a teardown path released
+a frame (or a PCID) while some TLB could still translate through it.
+The fix was an ordering discipline, documented in ``Kernel.exit_process``:
+every invalidation the teardown owes (PCID flush, O-PC reclamation,
+group-shared flush) goes out through ``invalidation_sink`` *before* a
+single frame is decref'd, so there is no window in which a freed — and
+possibly recycled — frame is still reachable through a stale entry.
+
+This rule pins that discipline with the CFG. Within ``kernel/``
+functions that both record invalidations and free frames, every free
+must be **dominated** by an invalidation event:
+
+- invalidation events: calls to ``invalidation_sink(...)`` /
+  ``_issue_invalidations(...)``, and ``invalidations.append(
+  TLBInvalidation(...))`` / ``.extend`` with a ``TLBInvalidation``
+  argument (paths like ``munmap`` that batch invalidations for the
+  caller to apply — recording the shootdown *before* the free keeps the
+  batch complete even if the walk stops early);
+- free events: ``allocator.decref(...)`` calls and ``_teardown(...)``
+  (which decrefs recursively).
+
+Functions with frees but no invalidation machinery (``_teardown``
+itself, the fault handlers) are out of scope: whether an invalidation
+is *required* is a semantic question the runtime sanitizer answers;
+this rule checks that, where both appear, the order is provably right
+on every path.
+"""
+
+import ast
+
+from repro.analysis.lint.cfg import FunctionCFG, ModuleIndex
+from repro.analysis.lint.engine import LintRule
+from repro.analysis.lint.rules.epochs import _own_calls
+
+#: Call targets that deliver invalidations to the cores.
+_SINK_ATTRS = frozenset({"invalidation_sink", "_issue_invalidations"})
+
+#: Calls that release frames (directly or recursively).
+_FREE_ATTRS = frozenset({"decref", "_teardown"})
+
+
+def _constructs_invalidation(node):
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name == "TLBInvalidation":
+                return True
+    return False
+
+
+def _classify(stmt):
+    """(is_invalidation_event, is_free_event) for one statement."""
+    inval = free = False
+    for call in _own_calls(stmt):
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _SINK_ATTRS:
+            inval = True
+        elif func.attr in ("append", "extend") \
+                and any(_constructs_invalidation(arg) for arg in call.args):
+            inval = True
+        elif func.attr in _FREE_ATTRS:
+            free = True
+    return inval, free
+
+
+class TeardownOrderRule(LintRule):
+    rule_id = "BF501"
+    description = ("kernel/ teardown ordering: TLB invalidations "
+                   "(invalidation_sink / recorded shootdowns) must dominate "
+                   "frame decref/_teardown on every path")
+
+    def applies_to(self, module):
+        return not module.is_test and module.package == "kernel"
+
+    def check_module(self, tree, ctx):
+        index = ModuleIndex(tree)
+        for func, cls in index.iter_functions():
+            self._check_function(func, cls, ctx)
+
+    def _check_function(self, func, cls, ctx):
+        cfg = FunctionCFG(func)
+        invals, frees = [], []
+        for stmt in cfg.statements():
+            inval, free = _classify(stmt)
+            if inval:
+                invals.append(stmt)
+            if free:
+                frees.append(stmt)
+        if not invals or not frees:
+            return
+        owner = "%s.%s" % (cls.name, func.name) if cls is not None \
+            else func.name
+        for free in frees:
+            if any(cfg.dominates(inval, free) for inval in invals):
+                continue
+            ctx.report(free,
+                       "frame free in %s() is not dominated by an "
+                       "invalidation: a path reaches this decref/_teardown "
+                       "before any shootdown is recorded or issued, leaving "
+                       "a window where a stale TLB entry maps a freed frame"
+                       % owner)

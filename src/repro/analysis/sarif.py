@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 serialization for analysis findings.
+
+Static Analysis Results Interchange Format (SARIF) is the schema GitHub
+code scanning (and most CI annotators) ingest. We emit the minimal
+conforming subset: one run, one driver, the rule catalog as
+``tool.driver.rules``, and one ``result`` per finding with a physical
+location. Paths are emitted relative to the invocation root so the
+upload matches the repository layout regardless of where the runner
+checked out.
+"""
+
+import pathlib
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _relative(path, root):
+    if root is None:
+        return pathlib.PurePath(path).as_posix()
+    try:
+        resolved = pathlib.Path(path).resolve()
+        return resolved.relative_to(pathlib.Path(root).resolve()).as_posix()
+    except (ValueError, OSError):
+        return pathlib.PurePath(path).as_posix()
+
+
+def to_sarif(findings, root=None):
+    """Build a SARIF ``dict`` for ``findings`` (paths relative to ``root``)."""
+    from repro.analysis.lint.rules import rule_catalog
+
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            "level": _LEVELS.get(str(finding.severity), "error"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _relative(finding.path, root),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    # SARIF regions are 1-based; whole-file findings
+                    # (BF002 decode failures) anchor to line 1.
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+        })
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri":
+                        "https://github.com/babelfish-repro/repro",
+                    "rules": [
+                        {
+                            "id": rule_id,
+                            "shortDescription": {"text": description},
+                        }
+                        for rule_id, description in rule_catalog()
+                    ],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }

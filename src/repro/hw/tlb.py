@@ -182,14 +182,17 @@ class SetAssocTLB:
         removed = 0
         for index, tset in enumerate(self._sets):
             keep = []
+            dropped = 0
             for entry in tset:
                 if pred is None or pred(entry):
                     entry.valid = False
                     self._stamps[index].pop(id(entry), None)
-                    removed += 1
+                    dropped += 1
                 else:
                     keep.append(entry)
-            self._sets[index] = keep
+            if dropped:
+                self._sets[index] = keep
+                removed += dropped
         self.invalidations += removed
         if removed:
             self._bump_epoch()
@@ -388,27 +391,31 @@ class FastSetAssocTLB(SetAssocTLB):
             tset = self._sets[index]
             if not tset:
                 continue
-            here = 0
             if pred is None:
+                # Whole-set wipe: tset is non-empty, so the bump is
+                # unconditional and sits in the same block as the wipe.
                 here = len(tset)
                 for entry in tset:
                     entry.valid = False
                 tset.clear()
                 self._buckets[index].clear()
                 self._lru[index].clear()
-            else:
-                buckets = self._buckets[index]
-                lru = self._lru[index]
-                for entry in list(tset):
-                    if pred(entry):
-                        entry.valid = False
-                        tset.remove(entry)
-                        bucket = buckets[entry.vpn]
-                        bucket.remove(entry)
-                        if not bucket:
-                            del buckets[entry.vpn]
-                        del lru[entry]
-                        here += 1
+                self._set_epochs[index] += 1
+                removed += here
+                continue
+            here = 0
+            buckets = self._buckets[index]
+            lru = self._lru[index]
+            for entry in list(tset):
+                if pred(entry):
+                    entry.valid = False
+                    tset.remove(entry)
+                    here += 1
+                    bucket = buckets[entry.vpn]
+                    bucket.remove(entry)
+                    if not bucket:
+                        del buckets[entry.vpn]
+                    del lru[entry]
             if here:
                 self._set_epochs[index] += 1
                 removed += here

@@ -338,13 +338,16 @@ class Kernel:
                     # wasted walk per hole.
                     vpn += 1
                     continue
+            # Record the shootdown before the frame can be released: if
+            # the walk ever stops early, the batch must already name every
+            # page whose frame a recycler could hand out.
+            invalidations.append(TLBInvalidation(
+                vpn, InvalidationScope.PROCESS,
+                pcid=proc.pcid, ccid=proc.ccid))
             if entry.present:
                 if self.allocator.decref(entry.ppn) == 0:
                     freed_frames.append(entry.ppn)
             table.entries.pop(index, None)
-            invalidations.append(TLBInvalidation(
-                vpn, InvalidationScope.PROCESS,
-                pcid=proc.pcid, ccid=proc.ccid))
             vpn += entry.page_size.base_pages
         if self.on_frames_freed is not None and freed_frames:
             self.on_frames_freed(freed_frames)

@@ -60,4 +60,100 @@ class TestCLIOnViolations:
         out = capsys.readouterr().out
         for rule in all_rules():
             assert rule.rule_id in out
-        assert len(rule_catalog()) == len(all_rules())
+        # The catalog also lists the three engine pseudo-rules
+        # (BF000 syntax, BF001 unused suppression, BF002 unreadable).
+        assert len(rule_catalog()) == len(all_rules()) + 3
+        for engine_rule in ("BF000", "BF001", "BF002"):
+            assert engine_rule in out
+
+
+class TestStrictAndBaseline:
+    def seed(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "hw" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("from repro.sim.mmu import MMU\n"
+                       "assert MMU\n")
+        return bad
+
+    def test_write_baseline_then_strict_accepts_old_debt(self, tmp_path,
+                                                         capsys):
+        bad = self.seed(tmp_path)
+        bl = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(bl),
+                     str(bad)]) == 0
+        assert json.loads(bl.read_text())["findings"]
+        assert main(["--strict", "--baseline", str(bl), str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_strict_fails_on_new_finding_beyond_baseline(self, tmp_path):
+        bad = self.seed(tmp_path)
+        bl = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(bl),
+                     str(bad)]) == 0
+        bad.write_text(bad.read_text() + "assert MMU is not None\n")
+        assert main(["--strict", "--baseline", str(bl), str(bad)]) == 1
+
+    def test_baseline_match_ignores_line_numbers(self, tmp_path):
+        bad = self.seed(tmp_path)
+        bl = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(bl),
+                     str(bad)]) == 0
+        # Shift every finding down two lines: still baselined.
+        bad.write_text("# moved\n# moved\n" + bad.read_text())
+        assert main(["--strict", "--baseline", str(bl), str(bad)]) == 0
+
+    def test_warnings_fail_only_under_strict(self, tmp_path):
+        stale = tmp_path / "src" / "repro" / "hw" / "stale.py"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("x = 1  # bfa: disable=BF101 -- stale\n")
+        assert main([str(stale)]) == 0          # BF001 is a warning
+        assert main(["--strict", str(stale)]) == 1
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path, capsys):
+        bad = self.seed(tmp_path)
+        bl = tmp_path / "baseline.json"
+        bl.write_text("{\"findings\": 42}")
+        assert main(["--baseline", str(bl), str(bad)]) == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+
+class TestSarifOutput:
+    def seed(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "hw" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("from repro.sim.mmu import MMU\n"
+                       "assert MMU\n")
+        return bad
+
+    def test_sarif_out_writes_conforming_log(self, tmp_path, capsys):
+        bad = self.seed(tmp_path)
+        sarif_path = tmp_path / "analysis.sarif"
+        assert main(["--sarif-out", str(sarif_path), str(bad)]) == 1
+        log = json.loads(sarif_path.read_text())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"BF101", "BF302", "BF401", "BF501", "BF601"} <= declared
+        results = run["results"]
+        assert {r["ruleId"] for r in results} == {"BF101", "BF302"}
+        for result in results:
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["region"]["startLine"] >= 1
+            assert loc["artifactLocation"]["uri"]
+            assert result["ruleId"] in declared
+
+    def test_format_sarif_prints_log(self, tmp_path, capsys):
+        bad = self.seed(tmp_path)
+        assert main(["--format", "sarif", str(bad)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"][0]["results"]) == 2
+
+    def test_clean_tree_yields_empty_results(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        sarif_path = tmp_path / "clean.sarif"
+        assert main(["--sarif-out", str(sarif_path), str(good)]) == 0
+        assert json.loads(sarif_path.read_text())["runs"][0]["results"] == []

@@ -31,8 +31,10 @@ class TestEngine:
         assert findings == []
 
     def test_disable_of_other_rule_does_not_suppress(self):
+        # The assert still fires, and the decoy suppression is itself
+        # flagged as unused (BF001).
         findings = lint("assert x  # bfa: disable=BF101\n")
-        assert rule_ids(findings) == ["BF302"]
+        assert rule_ids(findings) == ["BF001", "BF302"]
 
     def test_finding_structure(self):
         finding = lint("assert x\n")[0]
@@ -47,6 +49,58 @@ class TestEngine:
         assert ModuleInfo("src/repro/report.py").package == ""
         assert ModuleInfo("tests/test_x.py").is_test
         assert ModuleInfo("src/repro/hw/tlb.py").in_sim_path
+
+
+class TestUnusedSuppressionBF001:
+    def test_unused_bare_disable_is_flagged(self):
+        findings = lint("x = 1  # bfa: disable -- stale waiver\n")
+        assert rule_ids(findings) == ["BF001"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_stale_rule_id_in_partially_used_list_is_flagged(self):
+        findings = lint("assert x  # bfa: disable=BF302,BF301\n")
+        assert rule_ids(findings) == ["BF001"]
+        assert "BF301" in findings[0].message
+
+    def test_fully_used_suppression_is_silent(self):
+        assert lint("assert x  # bfa: disable=BF302 -- guard\n") == []
+
+    def test_bf001_cannot_suppress_itself(self):
+        # A bare disable absorbing nothing may not excuse its own BF001,
+        # and listing BF001 explicitly is itself an unused suppression.
+        findings = lint("x = 1  # bfa: disable\n")
+        assert rule_ids(findings) == ["BF001"]
+        findings = lint("x = 1  # bfa: disable=BF001\n")
+        assert rule_ids(findings) == ["BF001"]
+
+    def test_suppression_text_in_strings_is_inert(self):
+        # Only COMMENT tokens count: docstrings documenting the syntax
+        # neither suppress nor register as unused.
+        assert lint('"""usage: # bfa: disable=BF101 -- why"""\n') == []
+        assert lint('text = "# bfa: disable"\n') == []
+
+    def test_directive_must_start_the_comment(self):
+        assert lint("x = 1  # see also: bfa: disable=BF101\n") == []
+
+
+class TestCrashResilienceBF002:
+    def test_non_utf8_file_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "latin.py"
+        bad.write_bytes(b"# comment \xe9\nx = 1\n")
+        findings = LintEngine().lint_file(bad)
+        assert rule_ids(findings) == ["BF002"]
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].path.endswith("latin.py")
+
+    def test_null_bytes_are_a_finding_not_a_crash(self):
+        findings = lint("x = 1\x00\n")
+        assert rule_ids(findings) == ["BF002"]
+
+    def test_unreadable_file_does_not_abort_the_tree(self, tmp_path):
+        (tmp_path / "latin.py").write_bytes(b"\xff\xfe junk")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        findings = LintEngine().lint_paths([tmp_path])
+        assert rule_ids(findings) == ["BF002"]
 
 
 class TestLayeringBF101:
