@@ -8,10 +8,12 @@ fast/reference accesses-per-second ratio per tier to
 ``BENCH_hotpath.json`` at the repo root (ratios are the tracked,
 machine-normalized trajectory; the raw rates ride along for context).
 
-    python benchmarks/bench_hotpath.py           # smoke + medium tiers
-    python benchmarks/bench_hotpath.py --smoke   # smoke tier only (CI)
+    python benchmarks/bench_hotpath.py           # smoke + medium + batch
+    python benchmarks/bench_hotpath.py --smoke   # smoke + batch tiers (CI)
 
-Equivalent to ``python -m repro.experiments perf``.
+Tiers not run (``medium`` under ``--smoke``) are preserved from the
+existing trajectory file rather than erased. Equivalent to
+``python -m repro.experiments perf``.
 """
 
 import argparse

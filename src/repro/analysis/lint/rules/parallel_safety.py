@@ -26,7 +26,13 @@ sequential:
 
 Reachability is module-local (the engine lints files independently):
 roots are the function names passed to ``submit``/``parallel_map``/
-``initializer=`` in this module, and edges follow
+``initializer=`` in this module, plus any functions named by a
+top-level ``DISPATCH_ROOTS = ("fn", ...)`` marker — the opt-in for
+modules whose entry points are dispatched from *elsewhere* (e.g.
+``repro.sim.batch.run_quantum_batch``, dispatched per quantum by the
+simulator: its chunk folds are exactly the accumulate-then-fold shape
+these rules police, and without the marker the module-local root scan
+cannot see them). Edges follow
 :meth:`repro.analysis.lint.cfg.ModuleIndex.resolve_call`. Cross-module
 workers (e.g. ``common.run_app``) are out of scope here; each module's
 own dispatch sites cover its own workers.
@@ -47,6 +53,29 @@ from repro.analysis.lint.rules.epochs import MUTATORS, _own_calls
 #: Call attribute names that dispatch a function to a worker process.
 _DISPATCH_ATTRS = frozenset({"submit"})
 _DISPATCH_NAMES = frozenset({"parallel_map"})
+
+#: Top-level marker naming functions dispatched from outside the module.
+_ROOTS_MARKER = "DISPATCH_ROOTS"
+
+
+def _marker_roots(tree, index):
+    """Functions named by a top-level ``DISPATCH_ROOTS`` tuple/list of
+    string constants (unresolvable names are ignored)."""
+    roots = set()
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == _ROOTS_MARKER
+                   for t in stmt.targets):
+            continue
+        if isinstance(stmt.value, (ast.Tuple, ast.List)):
+            for elt in stmt.value.elts:
+                if isinstance(elt, ast.Constant) \
+                        and isinstance(elt.value, str):
+                    target = index.functions.get(elt.value)
+                    if target is not None:
+                        roots.add(target)
+    return roots
 
 
 def _call_name(call):
@@ -79,6 +108,7 @@ class ParallelSafetyRule(LintRule):
     def check_module(self, tree, ctx):
         index = ModuleIndex(tree)
         dispatch_roots, init_roots = self._roots(index)
+        dispatch_roots |= _marker_roots(tree, index)
         if not dispatch_roots and not init_roots:
             return
         reachable = self._reachable(dispatch_roots, index)
@@ -208,6 +238,7 @@ class UnorderedFoldRule(LintRule):
         index = ModuleIndex(tree)
         safety = ParallelSafetyRule()
         dispatch_roots, init_roots = safety._roots(index)
+        dispatch_roots |= _marker_roots(tree, index)
         scope = set(safety._reachable(dispatch_roots, index))
         # The fold side lives in the functions that dispatch or drain
         # as_completed — include them.

@@ -136,8 +136,8 @@ def _kill_launch(env, rng, core):
 
 
 def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
-              fastpath=True, cores=2, live_pool=LIVE_POOL, kill_rate=0.1,
-              pcid_bits=CHURN_PCID_BITS, seed=1234):
+              fastpath=True, batch=False, cores=2, live_pool=LIVE_POOL,
+              kill_rate=0.1, pcid_bits=CHURN_PCID_BITS, seed=1234):
     """Run the start/stop/restart storm and check it leaked nothing.
 
     Each cycle launches one container (with probability ``kill_rate`` it
@@ -148,7 +148,7 @@ def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
     accounting.
     """
     config = config_by_name(config_name, sanitize=sanitize,
-                            fastpath=fastpath)
+                            fastpath=fastpath, batch=batch)
     env = build_environment(config, cores=cores)
     if pcid_bits is not None:
         # Shrink the namespace before any process exists so the whole

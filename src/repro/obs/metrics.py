@@ -14,6 +14,8 @@ distributions (walk latency, request latency) come for free without
 configuring bucket boundaries per metric.
 """
 
+import math
+
 
 class Counter:
     """A monotonically increasing value."""
@@ -72,15 +74,28 @@ class Histogram:
 
     def percentile(self, pct):
         """Nearest-rank percentile, resolved to its bucket's upper bound
-        (exact for the min/max, approximate in between)."""
+        (exact for the min/max, approximate in between).
+
+        The rank is the true nearest-rank definition — ``ceil(p/100*N)``
+        clamped to at least 1 — matching :func:`repro.sim.stats.
+        percentile` on the same data, so the histogram summaries and the
+        exact-value summaries report the same element for a given
+        ``pct`` (the histogram answer is that element's bucket upper
+        bound). The old ``int(round(...))`` rank disagreed with the
+        exact implementation on half-way counts (banker's rounding
+        picked the lower rank), skewing p50/p95 one element low.
+        """
         if not self.count:
             return 0.0
-        rank = max(1, int(round(pct / 100.0 * self.count)))
+        rank = max(1, math.ceil(pct / 100.0 * self.count))
         seen = 0
         for bucket in sorted(self.buckets):
             seen += self.buckets[bucket]
             if seen >= rank:
-                return float((1 << bucket) - 1) if bucket else 0.0
+                # Uniform upper bound: bucket b holds [2**(b-1), 2**b),
+                # so the inclusive upper bound is 2**b - 1 — which is 0
+                # for bucket 0 (the zero bucket), no special case.
+                return float((1 << bucket) - 1)
         return float(self.max)
 
 

@@ -1,0 +1,950 @@
+"""Batched trace execution over the exact fast path.
+
+The scalar fast path (:mod:`repro.sim.fastpath`) still pays one Python
+interpreter round trip per trace record — the memo guard chain, a
+``data_access`` call, per-record stat attribute bumps. This module —
+ROADMAP's "next 10x" — compiles each attached trace into flat parallel
+arrays at attach time and executes the steady-state stream in *chunks*:
+a claim proves, for a span of the next chunk, that every record's
+translation is served by the L0 memo (an L1-TLB hit), then runs the
+span through a tight loop in which the set-index math, tag values, and
+physical addresses are precomputed per chunk via numpy (with a pure-
+Python fallback so numpy stays optional) and the per-record residue is
+a handful of dict operations; the translation-side stat folds (per-key
+TLB hit counters, LRU move-to-ends, per-space access counters, cycle
+sums) are applied once per chunk from prefix sums and a key fold.
+Cache-level misses inside a claimed span are executed inline through
+the real L2/L3/DRAM objects in record order, so their evictions,
+writebacks, and fill effects are the scalar ones by construction.
+
+Any record the claim cannot prove is translation-steady — a memo miss,
+epoch boundary, fault, CoW retry, or cross-core shootdown inside the
+chunk — punts to the scalar machinery: exactly one record runs through
+``MMU.translate`` + ``CacheHierarchy.data_access`` (which service
+faults, seed the memo, and shoot down exactly as always), and the claim
+re-arms behind it.
+
+Exactness (DESIGN.md §14): a claimed span consists only of memo
+replays, whose translation side effects are commutative counter
+increments and LRU move-to-ends — nothing in a claimed span mutates a
+TLB set, so the guards verified at claim time hold for the whole span
+and the key fold reconstructs the final LRU order from per-key
+last-occurrence order. Cache state is mutated in record order (hits
+are the inlined ``data_access`` hit path; misses call the same
+lookup/insert methods), so the cache side needs no reordering argument
+at all. The simulator is single-threaded, so nothing interleaves with
+a claim. ``RunResult.as_dict()`` of a batch run is therefore
+bit-identical to the reference run (tests/test_batch.py triangulates
+reference == fastpath == batch on every stock config).
+
+Verified keys are cached *across* chunks: the hw twins' chunk-boundary
+epoch hooks (``FastSetAssocTLB._epoch_log``) record which sets changed
+since the last chunk, so a claim invalidates exactly the keys whose
+guard sets moved instead of re-verifying its whole working set after
+every interlude. Verified-resident cache lines are cached the same
+way, keyed on the L1's aggregate epoch (hits never bump it — the
+documented contract) and maintained through the claim's own fills and
+evictions.
+
+Gating: ``SimConfig.batch`` (default off) requires the fast structures
+(``structures_active``); ``REPRO_BATCH=0`` disables it, and
+``REPRO_BATCH_NUMPY=0`` forces the pure-Python scan even when numpy is
+importable.
+"""
+
+import bisect
+import itertools
+import os
+
+from repro.hw.types import AccessKind
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Environment escape hatch: ``REPRO_BATCH=0`` forces the scalar loop
+#: regardless of ``SimConfig.batch``.
+BATCH_ENV = "REPRO_BATCH"
+
+#: ``REPRO_BATCH_NUMPY=0`` selects the pure-Python fallback scan even
+#: when numpy is installed (the CI matrix drives both).
+BATCH_NUMPY_ENV = "REPRO_BATCH_NUMPY"
+
+#: Claim window: at most this many records are examined per claim.
+#: Module-level so tests can shrink it to force chunk boundaries.
+CHUNK = 2048
+
+#: Use the vectorized (numpy) span precompute only when the previous
+#: claim ran at least this long: per-claim numpy fixed costs (unique,
+#: gathers, tolist) amortize over long steady spans but lose to the
+#: plain-dict core when punts chop claims short. Module-level so tests
+#: can force either core.
+NP_SPAN_MIN = 192
+
+#: repro.analysis marker (BF601/BF602): the batch engine's chunk folds
+#: are dispatch-reachable code — the simulator dispatches
+#: ``run_quantum_batch`` per quantum the way the runner dispatches pool
+#: workers — so the parallel-safety rules root their reachability here.
+DISPATCH_ROOTS = ("run_quantum_batch",)
+
+_KINDS = (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE)
+
+
+def numpy_active():
+    """True when the vectorized scan should back compiled traces."""
+    return _np is not None and os.environ.get(BATCH_NUMPY_ENV, "1") != "0"
+
+
+def batch_active(config):
+    """True when traces should be compiled and run through the batch
+    engine: ``SimConfig.batch`` on top of the fast structures (sanitize/
+    trace and the fastpath escape hatches all force the scalar paths)."""
+    from repro.sim.fastpath import structures_active
+
+    if not getattr(config, "batch", False):
+        return False
+    if os.environ.get(BATCH_ENV, "1") == "0":
+        return False
+    return structures_active(config)
+
+
+class BatchTrace:
+    """One attached trace, compiled to flat parallel arrays.
+
+    Compile-time state (immutable over the run): the original records,
+    per-record dense key ids (a *key* is ``(instr, is_write, segment,
+    page)`` — exactly the memo's lookup identity), per-record flags and
+    cycle components, and exclusive prefix sums of instructions /
+    claimed-record cycles / memory cycles / ifetch counts, so a claim's
+    quantum cut and stat totals are O(1) lookups and differences.
+
+    Dynamic state (per binding to a core's MMU): per-key verification
+    results mirrored from the memo (``g_ok``/``g_ppn``/``g_info``),
+    the reverse index from guard (structure, set) pairs to key ids,
+    epoch-log cursors per watched structure, and the verified-resident
+    line caches per L1 cache.
+    """
+
+    __slots__ = (
+        "records", "n", "pos", "use_numpy", "has_reqs",
+        "ids", "lines", "instrs", "writes", "reqs",
+        "gap_cycles", "rec_cycles",
+        "insts_prefix", "cycles_prefix", "mem_prefix", "instr_prefix",
+        "ids_np", "lines_np", "last_nk",
+        "key_meta", "nkeys",
+        "mmu", "core_id", "l1_cycles", "l1i_cache", "l1d_cache",
+        "lb_i", "lb_d", "line_memo_slot",
+        "g_ok", "g_ppn", "g_ok_np", "g_ppn_np",
+        "g_info", "masked", "rev", "log_cursors",
+        "vlines_i", "vlines_d", "vlines_i_epoch", "vlines_d_epoch",
+    )
+
+    def bind(self, sim, core_id):
+        """(Re)bind the dynamic verification state to one core's MMU and
+        caches. Called at compile time and again if the trace ever runs
+        on a different core (all cached verifications are dropped)."""
+        mmu = sim.mmus[core_id]
+        self.mmu = mmu
+        self.core_id = core_id
+        self.l1_cycles = mmu.l1_cycles
+        self.l1i_cache = sim.hierarchy.l1i[core_id]
+        self.l1d_cache = sim.hierarchy.l1d[core_id]
+        self.lb_i = self.l1i_cache.line_bits
+        self.lb_d = self.l1d_cache.line_bits
+        self.line_memo_slot = sim.hierarchy._line_memo[core_id]
+        nkeys = self.nkeys
+        # Plain lists for the per-record core: list indexing returns
+        # native bool/int, where numpy arrays would leak numpy scalars
+        # into every paddr computation and dict key downstream. The
+        # numpy mirrors exist only for the span path's vectorized
+        # gathers and are dual-written at the (low-frequency) verify
+        # and invalidate sites.
+        self.g_ok = [False] * nkeys
+        self.g_ppn = [0] * nkeys
+        if self.use_numpy:
+            self.g_ok_np = _np.zeros(nkeys, dtype=bool)
+            self.g_ppn_np = _np.zeros(nkeys, dtype=_np.int64)
+        else:
+            self.g_ok_np = self.g_ppn_np = None
+        self.g_info = [None] * nkeys
+        self.masked = {}
+        self.last_nk = 0
+        self.rev = {}
+        self.log_cursors = {}
+        self.vlines_i = {}
+        self.vlines_d = {}
+        self.vlines_i_epoch = -1
+        self.vlines_d_epoch = -1
+
+
+def compile_trace(trace, sim, core_id):
+    """Compile ``trace`` (any iterable of records) into a
+    :class:`BatchTrace` bound to ``core_id``'s structures."""
+    bt = BatchTrace()
+    records = list(trace)
+    bt.records = records
+    bt.n = len(records)
+    bt.pos = 0
+    bt.use_numpy = numpy_active()
+
+    mmu = sim.mmus[core_id]
+    base_cpi = sim.base_cpi
+    l1_cycles = mmu.l1_cycles
+    ci = sim.hierarchy.l1i[core_id].access_cycles
+    cd = sim.hierarchy.l1d[core_id].access_cycles
+
+    key_index = {}
+    key_meta = []
+    ids = []
+    lines = []
+    instrs = []
+    writes = []
+    reqs = []
+    gap_cycles = []
+    rec_cycles = []
+    insts_per = []
+    mem_per = []
+    has_reqs = False
+    for kind_code, segment, page_off, line, gap, req_id in records:
+        instr = kind_code == 0
+        is_write = kind_code == 2
+        key = (instr, is_write, segment, page_off)
+        kid = key_index.get(key)
+        if kid is None:
+            kid = len(key_meta)
+            key_index[key] = kid
+            key_meta.append((segment, page_off, instr, is_write))
+        ids.append(kid)
+        # Pre-shifted into paddr position: paddr = g_ppn[kid] | lines[i].
+        lines.append(line << 6)
+        instrs.append(instr)
+        writes.append(is_write)
+        reqs.append(req_id)
+        if req_id is not None:
+            has_reqs = True
+        # Same truncation as the scalar loops' int(gap * base_cpi).
+        gc = int(gap * base_cpi)
+        gap_cycles.append(gc)
+        mc = ci if instr else cd
+        mem_per.append(mc)
+        rec_cycles.append(gc + l1_cycles + mc)
+        insts_per.append(gap + 1)
+    bt.ids = ids
+    bt.lines = lines
+    bt.instrs = instrs
+    bt.writes = writes
+    bt.has_reqs = has_reqs
+    bt.reqs = reqs if has_reqs else None
+    bt.gap_cycles = gap_cycles
+    bt.rec_cycles = rec_cycles
+    bt.key_meta = key_meta
+    bt.nkeys = len(key_meta)
+    # Exclusive prefix sums (index i = total before record i): the
+    # quantum cut is a bisect and every claim total an O(1) difference.
+    # ``rec_cycles``/``mem_per`` assume the record is an L1 cache hit;
+    # misses add their extra level cycles inline during the claim.
+    bt.insts_prefix = [0] + list(itertools.accumulate(insts_per))
+    bt.cycles_prefix = [0] + list(itertools.accumulate(rec_cycles))
+    bt.mem_prefix = [0] + list(itertools.accumulate(mem_per))
+    bt.instr_prefix = [0] + list(itertools.accumulate(
+        1 if f else 0 for f in instrs))
+
+    if bt.use_numpy:
+        bt.ids_np = _np.asarray(ids, dtype=_np.int64)
+        bt.lines_np = _np.asarray(lines, dtype=_np.int64)
+    else:
+        bt.ids_np = bt.lines_np = None
+
+    bt.bind(sim, core_id)
+    return bt
+
+
+# -- cross-chunk verification state -------------------------------------------
+
+
+def _watch(bt, tlb):
+    """Start consuming ``tlb``'s epoch change log (enabling it on first
+    interest); the cursor starts *now* — everything already logged
+    predates every verification that depends on it."""
+    if tlb not in bt.log_cursors:
+        tlb._log_epochs = True
+        bt.log_cursors[tlb] = tlb._epoch_log_base + len(tlb._epoch_log)
+
+
+def _drain_logs(bt):
+    """Invalidate verified keys whose guard sets changed since the last
+    chunk, by consuming each watched structure's epoch change log."""
+    cursors = bt.log_cursors
+    g_ok = bt.g_ok
+    g_ok_np = bt.g_ok_np
+    rev = bt.rev
+    masked = bt.masked
+    for tlb in cursors:
+        log = tlb._epoch_log
+        base = tlb._epoch_log_base
+        end = base + len(log)
+        cur = cursors[tlb]
+        if cur >= end:
+            continue
+        if cur < base:
+            # The producer trimmed past our cursor: we lost events, so
+            # conservatively drop every key guarded by this structure.
+            stale = [pair for pair in rev if pair[0] is tlb]
+            for pair in stale:
+                for kid in rev.pop(pair):
+                    g_ok[kid] = False
+                    if g_ok_np is not None:
+                        g_ok_np[kid] = False
+                    masked.pop(kid, None)
+        else:
+            for j in range(cur - base, len(log)):
+                kids = rev.pop((tlb, log[j]), None)
+                if kids is not None:
+                    for kid in kids:
+                        g_ok[kid] = False
+                        if g_ok_np is not None:
+                            g_ok_np[kid] = False
+                        masked.pop(kid, None)
+        cursors[tlb] = end
+
+
+def _recheck_masked(bt, proc):
+    """Re-run the live ORPC bitmask check for every verified key that
+    carries one (``proc.pc_bits`` has no epoch, so this runs every
+    claim; it is empty unless the config shares the L1 TLB)."""
+    masked = bt.masked
+    if not masked:
+        return
+    pc_bits = proc.pc_bits
+    drop = None
+    for kid in masked:
+        mask_domain, pc_mask = masked[kid]
+        bit = pc_bits.get(mask_domain)
+        if bit is not None and (pc_mask >> bit) & 1:
+            if drop is None:
+                drop = []
+            drop.append(kid)
+    if drop:
+        g_ok_np = bt.g_ok_np
+        for kid in drop:
+            bt.g_ok[kid] = False
+            if g_ok_np is not None:
+                g_ok_np[kid] = False
+            del masked[kid]
+
+
+def _verify_key(bt, proc, kid):
+    """Verify one key against the memo (side-effect-free peek); on
+    success, cache the replay info and register the key under every
+    guard (structure, set) pair so epoch-log drains can invalidate it."""
+    segment, page_off, instr, is_write = bt.key_meta[kid]
+    rec = bt.mmu.memo_peek(proc, segment, page_off, instr, is_write)
+    if rec is None:
+        return False
+    (entry, tlb, set_idx, _set_epoch, ppn4k, _page_size,
+     _write_ok, _write_seeded, mask_domain, pc_mask, pre,
+     _hit_snap, _pre_deep) = rec
+    bt.g_ok[kid] = True
+    # Pre-shifted into paddr position (paddr = g_ppn | line<<6), and the
+    # per-set LRU dict resolved once here: the dict object is stable for
+    # the TLB's lifetime (flushes clear() in place), and any structural
+    # change bumps the set epoch, which re-verifies the key anyway.
+    bt.g_ppn[kid] = ppn4k << 12
+    if bt.g_ok_np is not None:
+        # Numpy mirrors exist only for the vectorized span path; the
+        # scalar core reads the plain lists so record arithmetic never
+        # touches numpy scalars (np.bool_/np.int64 poison every
+        # downstream int op with 2-5x overhead).
+        bt.g_ok_np[kid] = True
+        bt.g_ppn_np[kid] = ppn4k << 12
+    bt.g_info[kid] = (entry, tlb, tlb._lru[set_idx],
+                      tuple(p[0] for p in pre))
+    rev = bt.rev
+    _watch(bt, tlb)
+    bucket = rev.get((tlb, set_idx))
+    if bucket is None:
+        rev[(tlb, set_idx)] = {kid: None}
+    else:
+        bucket[kid] = None
+    for pre_tlb, pre_idx, _epoch in pre:
+        _watch(bt, pre_tlb)
+        bucket = rev.get((pre_tlb, pre_idx))
+        if bucket is None:
+            rev[(pre_tlb, pre_idx)] = {kid: None}
+        else:
+            bucket[kid] = None
+    if mask_domain is not None:
+        bt.masked[kid] = (mask_domain, pc_mask)
+    else:
+        bt.masked.pop(kid, None)
+    return True
+
+
+def _vlines(bt, instr):
+    """The verified-resident line cache for one L1 cache, cleared
+    whenever that cache's aggregate epoch moved outside a claim (hits
+    never bump it, so an unchanged epoch proves unchanged residency; a
+    claim's own fills and evictions maintain the dict and re-snapshot
+    the epoch, so only interlude fills and external invalidations wipe
+    it)."""
+    if instr:
+        cache = bt.l1i_cache
+        if bt.vlines_i_epoch != cache.epoch:
+            bt.vlines_i = {}
+            bt.vlines_i_epoch = cache.epoch
+        return bt.vlines_i
+    cache = bt.l1d_cache
+    if bt.vlines_d_epoch != cache.epoch:
+        bt.vlines_d = {}
+        bt.vlines_d_epoch = cache.epoch
+    return bt.vlines_d
+
+
+
+
+# -- the quantum loop ---------------------------------------------------------
+
+
+def _l2_miss(hier, l2, paddr, is_write):
+    """L2-miss leg of the inlined ``data_access`` miss path: probe L3
+    (then DRAM) through the real objects — their LRU state, fills, and
+    counters are the scalar ones by construction — and fill L2. Returns
+    the cycles beyond the L1 and L2 probes."""
+    l3 = hier.l3
+    extra = l3.access_cycles
+    if not l3.lookup(paddr, is_write):
+        extra += hier.dram.access(paddr)
+        l3.insert(paddr, is_write)
+    l2.insert(paddr, is_write)
+    return extra
+
+
+def run_quantum_batch(sim, core_id, proc):
+    """``Simulator._run_quantum`` for compiled traces: execute the
+    steady-state stream in chunks, punting to the scalar translation
+    machinery (one record at a time) wherever the memo cannot replay a
+    record — faults, CoW retries, seeding misses, shootdown-invalidated
+    entries, and every other non-steady-state event happen inside that
+    scalar record exactly as on the fast path. Scheduler bookkeeping
+    (finished/rotate/switch-cost) mirrors
+    :func:`repro.sim.fastpath.run_quantum_fast` exactly.
+
+    The chunk loop is inlined into the quantum loop so its working
+    state binds to locals once per quantum, and punts are handled *in
+    the loop*: the pending translation fold is flushed (the scalar
+    ``translate`` reads TLB hit counters and LRU order), the record's
+    translation runs through ``mmu.translate``, and its cache side runs
+    through the same inlined hierarchy code the steady records use —
+    so the verified-lines caches and the pending line-memo slot stay
+    live across punts instead of being wiped by a ``data_access``
+    detour. Steady spans between punts fold their translation effects
+    per span; pure counters (L1/L2 hit, miss, eviction, writeback
+    totals, per-side access counts, the translation-cycle fold)
+    accumulate in locals and flush once at quantum end — increments
+    commute, and nothing inside the quantum reads them. The L1 cache
+    epochs are kept in locals and written back around each
+    ``translate`` call, the only path that can move them externally
+    (fault-side line invalidations); a moved epoch wipes that side's
+    verified-lines cache, exactly as the epoch contract requires.
+
+    The quantum budget needs no per-record test: every path consumes
+    exactly ``gap + 1`` instructions per record, so the quantum's end
+    position is a single bisect on the instruction prefix up front
+    (``qcut``), and chunks simply never run past it.
+    """
+    mmu = sim.mmus[core_id]
+    stats = mmu.stats
+    bt = sim._traces.get(proc.pid)
+    quantum = sim.scheduler.quantum_instructions
+    request_latency = sim._request_latency
+    rl_get = request_latency.get
+    cycles = 0
+    insts = 0
+    t_cycles = 0
+    m_cycles = 0
+    finished = False
+    if bt is None:
+        finished = True
+    else:
+        if bt.mmu is not mmu:
+            bt.bind(sim, core_id)
+        # With the memo unwired (e.g. the debug store swapped out)
+        # nothing can be claimed; every record takes the scalar path,
+        # whose translate() runs the reference sequence.
+        memo_live = mmu._memo is not None
+        translate = mmu.translate
+        scratch = mmu._tr_scratch
+        kinds = _KINDS
+        records = bt.records
+        gap_cycles = bt.gap_cycles
+        n = bt.n
+        if not memo_live:
+            data_access = sim.hierarchy.data_access
+            while insts < quantum:
+                i = bt.pos
+                if i >= n:
+                    finished = True
+                    break
+                bt.pos = i + 1
+                kind_code, segment, page_off, line, gap, req_id = records[i]
+                tr = translate(proc, segment, page_off, kinds[kind_code],
+                               kind_code == 2, scratch)
+                mem = data_access(core_id, (tr.ppn4k << 12) | (line << 6),
+                                  kind_code)
+                record_cycles = gap_cycles[i] + tr.cycles + mem
+                cycles += record_cycles
+                insts += gap + 1
+                t_cycles += tr.cycles
+                m_cycles += mem
+                if req_id is not None:
+                    request_latency[req_id] = rl_get(req_id, 0) + record_cycles
+        else:
+            # -- per-quantum state --------------------------------------
+            prefix = bt.insts_prefix
+            cyc_prefix = bt.cycles_prefix
+            mem_prefix = bt.mem_prefix
+            in_prefix = bt.instr_prefix
+            ids = bt.ids
+            lines = bt.lines
+            instrs = bt.instrs
+            writes = bt.writes
+            reqs = bt.reqs
+            rec_cycles = bt.rec_cycles
+            has_reqs = bt.has_reqs
+            g_ok = bt.g_ok
+            g_ppn = bt.g_ppn
+            g_info = bt.g_info
+            use_np = bt.use_numpy
+            hier = sim.hierarchy
+            l1i = bt.l1i_cache
+            l1d = bt.l1d_cache
+            l2 = hier.l2[core_id]
+            sets_i = l1i._sets
+            sets_d = l1d._sets
+            sets_2 = l2._sets
+            mask_i = l1i.set_mask
+            mask_d = l1d.set_mask
+            mask_2 = l2.set_mask
+            shift_i = l1i._tag_shift
+            shift_d = l1d._tag_shift
+            shift_2 = l2._tag_shift
+            lb_i = bt.lb_i
+            lb_d = bt.lb_d
+            lb_2 = l2.line_bits
+            c2 = l2.access_cycles
+            ways_i = l1i.ways
+            ways_d = l1d.ways
+            dirty_i = l1i._dirty
+            dirty_d = l1d._dirty
+            dirty_2 = l2._dirty
+            slot = bt.line_memo_slot
+            vli = _vlines(bt, True)
+            vld = _vlines(bt, False)
+            ep_i = l1i.epoch
+            ep_d = l1d.epoch
+            # Pending line-memo slot lids; nothing else reads or writes
+            # the slot while the quantum runs (the interludes bypass
+            # data_access), so they flush only once. The slot epoch is
+            # always the side's current local epoch: it only moves at
+            # that side's own accesses — except fault-side invalidations,
+            # which flush the pending slot with the old epoch first.
+            sl_i_lid = sl_d_lid = None
+            hits_i = hits_d = 0
+            miss_i = miss_d = 0
+            ev_i = ev_d = 0
+            wb_i = wb_d = 0
+            h2 = m2 = 0
+            n2_total = 0
+            ni_total = 0
+            pos0 = pos = bt.pos
+            qcut = bisect.bisect_left(prefix, prefix[pos] + quantum, pos, n)
+            _drain_logs(bt)
+            if bt.masked:
+                _recheck_masked(bt, proc)
+            while True:
+                pos = bt.pos
+                if pos >= n:
+                    finished = True
+                    break
+                if pos >= qcut:
+                    break
+                iend = pos + CHUNK
+                if iend > qcut:
+                    iend = qcut
+                paddrs = None
+                end = iend
+                if use_np and bt.last_nk >= NP_SPAN_MIN:
+                    # Steady phase (the last span ran long): verify the
+                    # whole chunk's keys up front — one unique over the
+                    # chunk, the per-key peek only for keys not already
+                    # verified — and precompute every record's physical
+                    # address in one shot. An unverifiable key cuts the
+                    # span; a zero-length span falls through to the
+                    # per-record core, which punts on that record.
+                    ids_span = bt.ids_np[pos:iend]
+                    uks = _np.unique(ids_span)
+                    g_ok_np = bt.g_ok_np
+                    for kid in uks[~g_ok_np[uks]]:
+                        _verify_key(bt, proc, int(kid))
+                    ok = g_ok_np[ids_span]
+                    nk = (iend - pos) if ok.all() else int(_np.argmin(ok))
+                    if nk:
+                        end = pos + nk
+                        paddrs = (bt.g_ppn_np[ids_span[:nk]]
+                                  | bt.lines_np[pos:end]).tolist()
+                key_touch = {}
+                span_start = pos
+                for i in range(pos, end):
+                    if paddrs is not None:
+                        paddr = paddrs[i - pos]
+                    else:
+                        kid = ids[i]
+                        if not g_ok[kid] and not _verify_key(bt, proc, kid):
+                            # -- punt: scalar translation interlude -----
+                            span = i - span_start
+                            if span:
+                                # Flush the steady span behind us: the
+                                # scalar translate() reads TLB counters
+                                # and LRU order. Last-occurrence order —
+                                # pop-and-reinsert kept dict order =
+                                # ascending last touch.
+                                for kid2, count in key_touch.items():
+                                    entry, tlb, lru, pre = g_info[kid2]
+                                    for pre_tlb in pre:
+                                        pre_tlb.misses += count
+                                    tlb.hits += count
+                                    del lru[entry]
+                                    lru[entry] = None
+                                key_touch = {}
+                                n2_total += span
+                                ni_total += (in_prefix[i]
+                                             - in_prefix[span_start])
+                                m_cycles += (mem_prefix[i]
+                                             - mem_prefix[span_start])
+                                cycles += (cyc_prefix[i]
+                                           - cyc_prefix[span_start])
+                            (kind_code, segment, page_off, line, gap,
+                             req_id) = records[i]
+                            # translate() is the only in-quantum path
+                            # that reads or moves the L1 epochs
+                            # (fault-side line invalidations).
+                            l1i.epoch = ep_i
+                            l1d.epoch = ep_d
+                            tr = translate(proc, segment, page_off,
+                                           kinds[kind_code], kind_code == 2,
+                                           scratch)
+                            e2 = l1i.epoch
+                            if e2 != ep_i:
+                                # The pending slot's access predates the
+                                # invalidation: flush it under the old
+                                # epoch (stale, as the scalar path would
+                                # have left it).
+                                if sl_i_lid is not None:
+                                    slot[0] = (sl_i_lid, ep_i)
+                                    sl_i_lid = None
+                                ep_i = e2
+                                vli = {}
+                                bt.vlines_i = vli
+                            e2 = l1d.epoch
+                            if e2 != ep_d:
+                                if sl_d_lid is not None:
+                                    slot[1] = (sl_d_lid, ep_d)
+                                    sl_d_lid = None
+                                ep_d = e2
+                                vld = {}
+                                bt.vlines_d = vld
+                            _drain_logs(bt)
+                            if bt.masked:
+                                _recheck_masked(bt, proc)
+                            # Cache side of the punted record: the same
+                            # inlined hierarchy code the steady records
+                            # use, so vlines/slot state stays live.
+                            paddr = (tr.ppn4k << 12) | (line << 6)
+                            rec_extra = 0
+                            if kind_code == 0:
+                                lid = paddr >> lb_i
+                                index = lid & mask_i
+                                tag = lid >> shift_i
+                                cset = sets_i[index]
+                                if lid in vli:
+                                    del cset[tag]
+                                    cset[tag] = None
+                                    hits_i += 1
+                                elif tag in cset:
+                                    vli[lid] = None
+                                    del cset[tag]
+                                    cset[tag] = None
+                                    hits_i += 1
+                                else:
+                                    miss_i += 1
+                                    lid2 = paddr >> lb_2
+                                    idx2 = lid2 & mask_2
+                                    tag2 = lid2 >> shift_2
+                                    cset2 = sets_2[idx2]
+                                    if tag2 in cset2:
+                                        del cset2[tag2]
+                                        cset2[tag2] = None
+                                        h2 += 1
+                                        rec_extra = c2
+                                    else:
+                                        m2 += 1
+                                        rec_extra = c2 + _l2_miss(
+                                            hier, l2, paddr, False)
+                                    if len(cset) >= ways_i:
+                                        victim = next(iter(cset))
+                                        del cset[victim]
+                                        ev_i += 1
+                                        if (index, victim) in dirty_i:
+                                            dirty_i.discard((index, victim))
+                                            wb_i += 1
+                                        vli.pop((victim << shift_i) | index,
+                                                None)
+                                    cset[tag] = None
+                                    ep_i += 1
+                                    vli[lid] = None
+                                sl_i_lid = lid
+                            else:
+                                is_write = kind_code == 2
+                                lid = paddr >> lb_d
+                                index = lid & mask_d
+                                tag = lid >> shift_d
+                                cset = sets_d[index]
+                                if lid in vld:
+                                    del cset[tag]
+                                    cset[tag] = None
+                                    if is_write:
+                                        dirty_d.add((index, tag))
+                                    hits_d += 1
+                                elif tag in cset:
+                                    vld[lid] = None
+                                    del cset[tag]
+                                    cset[tag] = None
+                                    if is_write:
+                                        dirty_d.add((index, tag))
+                                    hits_d += 1
+                                else:
+                                    miss_d += 1
+                                    lid2 = paddr >> lb_2
+                                    idx2 = lid2 & mask_2
+                                    tag2 = lid2 >> shift_2
+                                    cset2 = sets_2[idx2]
+                                    if tag2 in cset2:
+                                        del cset2[tag2]
+                                        cset2[tag2] = None
+                                        if is_write:
+                                            dirty_2.add((idx2, tag2))
+                                        h2 += 1
+                                        rec_extra = c2
+                                    else:
+                                        m2 += 1
+                                        rec_extra = c2 + _l2_miss(
+                                            hier, l2, paddr, is_write)
+                                    if len(cset) >= ways_d:
+                                        victim = next(iter(cset))
+                                        del cset[victim]
+                                        ev_d += 1
+                                        if (index, victim) in dirty_d:
+                                            dirty_d.discard((index, victim))
+                                            wb_d += 1
+                                        vld.pop((victim << shift_d) | index,
+                                                None)
+                                    cset[tag] = None
+                                    if is_write:
+                                        dirty_d.add((index, tag))
+                                    ep_d += 1
+                                    vld[lid] = None
+                                sl_d_lid = lid
+                            mem = (mem_prefix[i + 1] - mem_prefix[i]
+                                   + rec_extra)
+                            record_cycles = gap_cycles[i] + tr.cycles + mem
+                            cycles += record_cycles
+                            t_cycles += tr.cycles
+                            m_cycles += mem
+                            if req_id is not None:
+                                request_latency[req_id] = (rl_get(req_id, 0)
+                                                           + record_cycles)
+                            span_start = i + 1
+                            bt.pos = span_start
+                            continue
+                        # Last-occurrence order for the span fold:
+                        # pop-and-reinsert keeps dict order = ascending
+                        # last touch.
+                        key_touch[kid] = key_touch.pop(kid, 0) + 1
+                        paddr = g_ppn[kid] | lines[i]
+                    rec_extra = 0
+                    if instrs[i]:
+                        lid = paddr >> lb_i
+                        index = lid & mask_i
+                        tag = lid >> shift_i
+                        cset = sets_i[index]
+                        if lid in vli:
+                            del cset[tag]
+                            cset[tag] = None
+                            hits_i += 1
+                        elif tag in cset:
+                            vli[lid] = None
+                            del cset[tag]
+                            cset[tag] = None
+                            hits_i += 1
+                        else:
+                            # Inlined miss path: L2 probe here, L3/DRAM
+                            # and the L2 fill in _l2_miss, then the L1
+                            # fill (eviction pruned from vli).
+                            miss_i += 1
+                            lid2 = paddr >> lb_2
+                            idx2 = lid2 & mask_2
+                            tag2 = lid2 >> shift_2
+                            cset2 = sets_2[idx2]
+                            if tag2 in cset2:
+                                del cset2[tag2]
+                                cset2[tag2] = None
+                                h2 += 1
+                                rec_extra = c2
+                            else:
+                                m2 += 1
+                                rec_extra = c2 + _l2_miss(hier, l2, paddr,
+                                                          False)
+                            if len(cset) >= ways_i:
+                                victim = next(iter(cset))
+                                del cset[victim]
+                                ev_i += 1
+                                if (index, victim) in dirty_i:
+                                    dirty_i.discard((index, victim))
+                                    wb_i += 1
+                                vli.pop((victim << shift_i) | index, None)
+                            cset[tag] = None
+                            ep_i += 1
+                            vli[lid] = None
+                            cycles += rec_extra
+                            m_cycles += rec_extra
+                        sl_i_lid = lid
+                    else:
+                        lid = paddr >> lb_d
+                        index = lid & mask_d
+                        tag = lid >> shift_d
+                        cset = sets_d[index]
+                        is_write = writes[i]
+                        if lid in vld:
+                            del cset[tag]
+                            cset[tag] = None
+                            if is_write:
+                                dirty_d.add((index, tag))
+                            hits_d += 1
+                        elif tag in cset:
+                            vld[lid] = None
+                            del cset[tag]
+                            cset[tag] = None
+                            if is_write:
+                                dirty_d.add((index, tag))
+                            hits_d += 1
+                        else:
+                            miss_d += 1
+                            lid2 = paddr >> lb_2
+                            idx2 = lid2 & mask_2
+                            tag2 = lid2 >> shift_2
+                            cset2 = sets_2[idx2]
+                            if tag2 in cset2:
+                                del cset2[tag2]
+                                cset2[tag2] = None
+                                if is_write:
+                                    dirty_2.add((idx2, tag2))
+                                h2 += 1
+                                rec_extra = c2
+                            else:
+                                m2 += 1
+                                rec_extra = c2 + _l2_miss(hier, l2, paddr,
+                                                          is_write)
+                            if len(cset) >= ways_d:
+                                victim = next(iter(cset))
+                                del cset[victim]
+                                ev_d += 1
+                                if (index, victim) in dirty_d:
+                                    dirty_d.discard((index, victim))
+                                    wb_d += 1
+                                vld.pop((victim << shift_d) | index, None)
+                            cset[tag] = None
+                            if is_write:
+                                dirty_d.add((index, tag))
+                            ep_d += 1
+                            vld[lid] = None
+                            cycles += rec_extra
+                            m_cycles += rec_extra
+                        sl_d_lid = lid
+                    if has_reqs:
+                        rid = reqs[i]
+                        if rid is not None:
+                            request_latency[rid] = (rl_get(rid, 0)
+                                                    + rec_cycles[i]
+                                                    + rec_extra)
+                # -- chunk-end flush of the trailing steady span --------
+                span = end - span_start
+                bt.last_nk = span
+                if span:
+                    if paddrs is not None:
+                        # Last-occurrence-ascending key fold: an
+                        # entry's final LRU recency is its last touch,
+                        # so applying per-key move-to-ends in that
+                        # order reproduces the scalar order even when
+                        # keys share entries.
+                        uk, kidx, counts = _np.unique(
+                            bt.ids_np[span_start:end][::-1],
+                            return_index=True, return_counts=True)
+                        key_order = [(int(uk[k]), int(counts[k]))
+                                     for k in _np.argsort((span - 1) - kidx)]
+                    else:
+                        key_order = key_touch.items()
+                    for kid2, count in key_order:
+                        entry, tlb, lru, pre = g_info[kid2]
+                        for pre_tlb in pre:
+                            pre_tlb.misses += count
+                        tlb.hits += count
+                        del lru[entry]
+                        lru[entry] = None
+                    n2_total += span
+                    ni_total += in_prefix[end] - in_prefix[span_start]
+                    m_cycles += mem_prefix[end] - mem_prefix[span_start]
+                    cycles += cyc_prefix[end] - cyc_prefix[span_start]
+                bt.pos = end
+            # -- quantum-end flush of deferred state --------------------
+            # Every path consumes exactly gap+1 instructions per record,
+            # so the quantum's instruction total is position-determined.
+            insts = prefix[bt.pos] - prefix[pos0]
+            if sl_i_lid is not None:
+                slot[0] = (sl_i_lid, ep_i)
+            if sl_d_lid is not None:
+                slot[1] = (sl_d_lid, ep_d)
+            l1i.epoch = ep_i
+            l1d.epoch = ep_d
+            bt.vlines_i_epoch = ep_i
+            bt.vlines_d_epoch = ep_d
+            l1i.hits += hits_i
+            l1d.hits += hits_d
+            l1i.misses += miss_i
+            l1d.misses += miss_d
+            l1i.evictions += ev_i
+            l1d.evictions += ev_d
+            l1i.writebacks += wb_i
+            l1d.writebacks += wb_d
+            l2.hits += h2
+            l2.misses += m2
+            if n2_total:
+                nd_total = n2_total - ni_total
+                stats.accesses_i += ni_total
+                stats.l1_hits_i += ni_total
+                stats.accesses_d += nd_total
+                stats.l1_hits_d += nd_total
+                t_cycles += n2_total * bt.l1_cycles
+    stats.translation_cycles += t_cycles
+    stats.memory_cycles += m_cycles
+    stats.instructions += insts
+    sim.core_cycles[core_id] += cycles
+    sim._proc_cycles[proc.pid] = sim._proc_cycles.get(proc.pid, 0) + cycles
+    if finished:
+        sim._completion[proc.pid] = sim.core_cycles[core_id]
+        sim._traces.pop(proc.pid, None)
+        sim.scheduler.remove(proc)
+    nxt = sim.scheduler.rotate(core_id)
+    if nxt is not None and nxt is not proc:
+        sim.core_cycles[core_id] += sim.switch_cost
+    return insts

@@ -129,6 +129,18 @@ class MMU:
                       if self._sanitizer is None and self._tracer is None
                       else None)
 
+    def memo_peek(self, proc, segment, page_off, instr, is_write):
+        """Side-effect-free memo guard evaluation for the batch engine
+        (:mod:`repro.sim.batch`): returns the validated memo record when
+        a :meth:`TranslationMemo.probe` of the same access would hit,
+        else None. None whenever the memo itself is unwired (sanitizer/
+        tracer modes), in which case the batch path claims nothing and
+        every record takes :meth:`translate`."""
+        memo = self._memo
+        if memo is None:
+            return None
+        return memo.peek(proc, segment, page_off, instr, is_write)
+
     # -- main entry point --------------------------------------------------------
 
     def translate(self, proc, segment, page_off, kind, is_write=False,

@@ -23,6 +23,7 @@ from repro.hw.dram import DRAMModel
 from repro.hw.types import AccessKind
 from repro.kernel.scheduler import Scheduler
 from repro.obs.tracer import Tracer, resolve_trace_options
+from repro.sim import batch
 from repro.sim import fastpath
 from repro.sim.mmu import MMU
 from repro.sim.stats import MMUStats, RunResult
@@ -47,6 +48,11 @@ class Simulator:
         #: the same predicate. Off under sanitize/trace (debug modes run
         #: the reference path) or REPRO_FASTPATH=0.
         self._fast = fastpath.structures_active(config)
+        #: Batched execution (repro.sim.batch): traces are compiled to
+        #: flat arrays at attach time and pure-hit prefixes are claimed
+        #: per chunk, punting to the scalar machinery at every
+        #: non-steady-state record. Requires the fast structures.
+        self._batch = self._fast and batch.batch_active(config)
         self.hierarchy = CacheHierarchy(machine, self.dram,
                                         fastpath=self._fast)
         self.sanitizer = (TranslationSanitizer(kernel, config)
@@ -80,8 +86,16 @@ class Simulator:
     # -- workload attachment -------------------------------------------------
 
     def attach(self, proc, trace, core_id):
-        """Attach a process and its trace iterator to a core's run queue."""
-        self._traces[proc.pid] = iter(trace)
+        """Attach a process and its trace iterator to a core's run queue.
+
+        Under batch execution the trace is materialized and compiled to
+        flat arrays here (attach time), bound to ``core_id``'s MMU and
+        caches.
+        """
+        if self._batch:
+            self._traces[proc.pid] = batch.compile_trace(trace, self, core_id)
+        else:
+            self._traces[proc.pid] = iter(trace)
         self.scheduler.assign(proc, core_id)
 
     def detach(self, proc):
@@ -120,6 +134,8 @@ class Simulator:
         return self._finish()
 
     def _run_quantum(self, core_id, proc):
+        if self._batch:
+            return batch.run_quantum_batch(self, core_id, proc)
         if self._fast:
             return fastpath.run_quantum_fast(self, core_id, proc)
         mmu = self.mmus[core_id]

@@ -385,6 +385,44 @@ class TestParallelSafetyBF601:
             """, EXP_PATH)
         assert rule_ids(findings) == ["BF601"]
 
+    def test_dispatch_roots_marker_seeds_reachability(self):
+        # Modules whose entry points are dispatched from elsewhere (the
+        # batch engine's run_quantum_batch, dispatched per quantum by
+        # the simulator) opt in via a top-level DISPATCH_ROOTS tuple.
+        findings = lint("""\
+            DISPATCH_ROOTS = ("run_quantum_batch",)
+            TOTALS = {}
+
+            def _fold(key, count):
+                TOTALS[key] = TOTALS.get(key, 0) + count
+
+            def run_quantum_batch(sim, core_id, proc):
+                _fold(core_id, 1)
+                return 0
+            """, EXP_PATH)
+        assert rule_ids(findings) == ["BF601"]
+        assert "TOTALS" in findings[0].message
+
+    def test_dispatch_roots_marker_clean_module(self):
+        findings = lint("""\
+            DISPATCH_ROOTS = ("run_quantum_batch",)
+
+            def run_quantum_batch(sim, core_id, proc):
+                folds = {}
+                folds[core_id] = 1
+                return folds
+            """, EXP_PATH)
+        assert findings == []
+
+    def test_dispatch_roots_marker_ignores_unknown_names(self):
+        findings = lint("""\
+            DISPATCH_ROOTS = ("not_defined_here", 42)
+
+            def helper(x):
+                return x
+            """, EXP_PATH)
+        assert findings == []
+
 
 class TestUnorderedFoldBF602:
     def test_set_iteration_in_dispatching_function_is_flagged(self):
@@ -429,3 +467,15 @@ class TestUnorderedFoldBF602:
                 return [r for r in set(rows)]
             """, EXP_PATH)
         assert findings == []
+
+    def test_dispatch_roots_marker_brings_folds_in_scope(self):
+        findings = lint("""\
+            DISPATCH_ROOTS = ("run_quantum_batch",)
+
+            def run_quantum_batch(sim, touched):
+                total = 0
+                for key in set(touched):
+                    total += touched[key]
+                return total
+            """, EXP_PATH)
+        assert rule_ids(findings) == ["BF602"]

@@ -53,6 +53,19 @@ def test_stock_configs_bit_identical(name):
     assert fast == ref
 
 
+@pytest.mark.parametrize("name", STOCK_CONFIGS)
+def test_stock_configs_triangulate_with_batch(name):
+    # reference == fastpath == batch on the full app pipeline: the batch
+    # engine (repro.sim.batch) rides the same structures the fast path
+    # uses, so any divergence shows up against either leg.
+    cores = 2 if name == "BabelFish" else 1
+    fast, ref = _run_both(name, cores=cores)
+    batched = run_app("mongodb", config_by_name(name, batch=True),
+                      cores=cores, scale=0.03, use_cache=False)
+    assert fast == ref
+    assert batched.result.as_dict() == ref
+
+
 def test_sanitize_mode_bit_identical():
     fast, ref = _run_both("BabelFish", scale=0.02, sanitize=True)
     assert fast == ref

@@ -57,6 +57,57 @@ class TestPercentile:
         assert percentile(values, 0) == 10.0
 
 
+class TestHistogramPercentileAgreement:
+    """The histogram summary (repro.obs.metrics) and the exact-value
+    summary (repro.sim.stats) use the same nearest-rank definition: for
+    any fixture, the histogram answer is the bucket upper bound of the
+    exact answer's bucket."""
+
+    FIXTURES = [
+        [0],
+        [0, 0, 0],
+        [1, 1, 4, 4, 4],          # half-way count: round() picked rank 2
+        [10, 20, 30, 40],
+        [3, 7, 7, 100, 100, 2000],
+        list(range(1, 101)),
+        [5] * 9 + [800],
+    ]
+
+    def test_same_element_for_shared_fixtures(self):
+        from repro.obs.metrics import Histogram, bucket_of
+
+        for values in self.FIXTURES:
+            hist = Histogram()
+            for v in values:
+                hist.observe(v)
+            for pct in (0, 1, 25, 50, 75, 90, 95, 99, 100):
+                exact = percentile(values, pct)
+                want = float((1 << bucket_of(int(exact))) - 1)
+                got = hist.percentile(pct)
+                assert got == want, (values, pct, got, want)
+
+    def test_halfway_count_uses_ceil_rank(self):
+        # N=5, p50 -> rank ceil(2.5)=3 (the old int(round(2.5)) gave 2
+        # via banker's rounding, reporting the lower element's bucket).
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        for v in (1, 1, 4, 4, 4):
+            hist.observe(v)
+        assert hist.percentile(50) == 7.0  # bucket of 4 is [4,8)
+
+    def test_zero_bucket_uniform_upper_bound(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        for v in (0, 0, 0, 2):
+            hist.observe(v)
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(100) == 3.0
+        empty = Histogram()
+        assert empty.percentile(95) == 0.0
+
+
 def _sample_result():
     result = RunResult("Sample")
     result.stats.instructions = 1000
