@@ -78,6 +78,9 @@ def main(argv=None):
                                  "benchmarks/out/runcache)")
     run_parser.add_argument("--no-disk-cache", action="store_true",
                             help="keep results in memory only")
+    run_parser.add_argument("--live", action="store_true",
+                            help="live progress lines (throughput/ETA), "
+                                 "aggregated across workers under --jobs")
 
     trace_parser = sub.add_parser(
         "trace", help="capture one traced run (JSONL + Chrome trace)")
@@ -91,6 +94,12 @@ def main(argv=None):
                                    "benchmarks/out/trace/<app>-<config>)")
     trace_parser.add_argument("--top", type=int, default=10,
                               help="hottest VPNs in the summary (default 10)")
+    trace_parser.add_argument("--sink", default=None, metavar="NAME",
+                              help="stream events to NAME in the capture "
+                                   "directory instead of keeping the ring "
+                                   "(.jsonl/.jsonl.gz/.jsonl.zst; the "
+                                   "stream replaces trace.jsonl and is "
+                                   "replay-verified against the live run)")
 
     cache_parser = sub.add_parser("cache", help="inspect/clear the run cache")
     cache_parser.add_argument("--dir", default=None,
@@ -109,6 +118,9 @@ def main(argv=None):
     perf_parser.add_argument("--repeats", type=int, default=None,
                              help="timing repeats per tier (default: "
                                   "the tier's own setting)")
+    perf_parser.add_argument("--live", action="store_true",
+                             help="per-tier live progress lines "
+                                  "(instructions/sec, punt rate)")
 
     churn_parser = sub.add_parser(
         "churn", help="container lifecycle storm: start/stop/restart "
@@ -123,6 +135,9 @@ def main(argv=None):
                               help="skip the translation sanitizer "
                                    "(leak checks still run)")
     churn_parser.add_argument("--seed", type=int, default=1234)
+    churn_parser.add_argument("--live", action="store_true",
+                              help="live progress lines (cycles/sec, "
+                                   "launch/stop/kill counters)")
 
     args = parser.parse_args(argv)
     if args.command == "cache":
@@ -148,10 +163,14 @@ def _run_command(parser, args):
     matrix = report_matrix(cores=cores, scale=scale)
     print("executing %d runs (cores=%d scale=%.2f jobs=%d)"
           % (len(matrix), cores, scale, args.jobs))
+    monitor = None
+    if args.live:
+        from repro.obs.live import ProgressMonitor
+        monitor = ProgressMonitor(unit="runs", label="matrix", interval=1.0)
     profiler = PhaseProfiler()
     with profiler.span("execute") as span:
         runs = execute(matrix, jobs=args.jobs, progress=print,
-                       profiler=profiler)
+                       profiler=profiler, monitor=monitor)
     simulated = (simulation_run_count() if args.jobs <= 1
                  else len(matrix) - (cache.hits if cache else 0))
     print("done: %d runs (%d simulated, %d cached) in %.1fs"
@@ -166,7 +185,13 @@ def _trace_command(parser, args):
         default_cache_dir().parent / "trace"
         / ("%s-%s" % (args.app, args.config)))
     profiler = PhaseProfiler()
-    config = config_by_name(args.config, trace=True)
+    sink_path = None
+    if args.sink:
+        sink_path = out / args.sink
+        config = config_by_name(args.config,
+                                trace={"sink": str(sink_path)})
+    else:
+        config = config_by_name(args.config, trace=True)
     print("tracing %s under %s (cores=%d scale=%.2f) -> %s"
           % (args.app, args.config, cores, scale, out))
     with profiler.span("simulate"):
@@ -175,10 +200,32 @@ def _trace_command(parser, args):
         run = run_app(args.app, config, cores=cores, scale=scale,
                       use_cache=False)
     snapshot = run.result.obs
-    events = list(run.env.sim.tracer.events)
+    tracer = run.env.sim.tracer
+    if sink_path is not None:
+        with profiler.span("finalize"):
+            tracer.finalize()
+            # Self-verify the stream: replaying the published file
+            # through fresh emitters must rebuild the live run's
+            # metrics exactly (the ring-equivalence property, checked
+            # on every capture because it is cheap relative to the run).
+            from repro.obs import replay_events
+            from repro.obs.export import read_jsonl
+            event_dicts = list(read_jsonl(sink_path))
+            replayed = replay_events(event_dicts)
+            if replayed.registry.snapshot() != tracer.registry.snapshot():
+                print("stream replay DIVERGED from the live run: %s"
+                      % sink_path, file=sys.stderr)
+                return 1
+        from repro.obs import event_from_dict
+        events = [event_from_dict(d) for d in event_dicts]
+    else:
+        events = list(tracer.events)
     with profiler.span("export"):
         out.mkdir(parents=True, exist_ok=True)
-        kept = write_jsonl(events, out / "trace.jsonl")
+        if sink_path is None:
+            kept = write_jsonl(events, out / "trace.jsonl")
+        else:
+            kept = len(events)
         write_chrome_trace(events, out / "trace.chrome.json",
                            metadata={"app": args.app, "config": args.config,
                                      "cores": cores, "scale": scale})
@@ -201,6 +248,9 @@ def _trace_command(parser, args):
     print("captured %d events (%d emitted, %d dropped) -> %s"
           % (kept, snapshot["events_emitted"], snapshot["events_dropped"],
              out))
+    if sink_path is not None:
+        print("streamed %d events -> %s (replay verified)"
+              % (kept, sink_path))
     print(profiler.summary_line())
     return 0
 
@@ -210,7 +260,8 @@ def _perf_command(parser, args):
         parser.error("--repeats must be a positive integer (got %d)"
                      % args.repeats)
     from repro.experiments.perf import run_harness
-    run_harness(smoke=args.smoke, out=args.out, repeats=args.repeats)
+    run_harness(smoke=args.smoke, out=args.out, repeats=args.repeats,
+                live=args.live)
     return 0
 
 
@@ -220,8 +271,14 @@ def _churn_command(parser, args):
                      % args.cycles)
     from repro.experiments.churn import format_churn, run_churn
     cycles = 40 if args.smoke else args.cycles
+    monitor = None
+    if args.live:
+        from repro.obs.live import ProgressMonitor
+        monitor = ProgressMonitor(total=cycles, unit="cycles",
+                                  label="churn", interval=1.0)
     result = run_churn(cycles=cycles, config_name=args.config,
-                       sanitize=not args.no_sanitize, seed=args.seed)
+                       sanitize=not args.no_sanitize, seed=args.seed,
+                       progress=monitor)
     print(format_churn(result))
     return 0 if result.clean else 1
 

@@ -137,7 +137,8 @@ def _kill_launch(env, rng, core):
 
 def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
               fastpath=True, batch=False, cores=2, live_pool=LIVE_POOL,
-              kill_rate=0.1, pcid_bits=CHURN_PCID_BITS, seed=1234):
+              kill_rate=0.1, pcid_bits=CHURN_PCID_BITS, seed=1234,
+              progress=None):
     """Run the start/stop/restart storm and check it leaked nothing.
 
     Each cycle launches one container (with probability ``kill_rate`` it
@@ -146,6 +147,10 @@ def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
     snapshot is taken after one warm launch+stop round so image files,
     the zygote, and allocator warm state are excluded from the leak
     accounting.
+
+    ``progress`` (a :class:`repro.obs.live.ProgressMonitor`) is advanced
+    once per storm cycle with launch/kill/stop counters, so long storms
+    show live cycles/sec lines without touching the simulated state.
     """
     config = config_by_name(config_name, sanitize=sanitize,
                             fastpath=fastpath, batch=batch)
@@ -172,6 +177,8 @@ def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
         engine.stop(container)
     baseline = resource_snapshot(env)
 
+    if progress is not None and progress.total is None:
+        progress.total = cycles
     launches = stops = kills = 0
     pool = []
     for cycle in range(cycles):
@@ -179,6 +186,8 @@ def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
         if rng.random() < kill_rate:
             pool.append(_kill_launch(env, rng, core))
             kills += 1
+            if progress is not None:
+                progress.count("kills")
         else:
             container, _cycles = engine.launch_timed(
                 FAAS_BASE_IMAGE, sim, core_id=core)
@@ -188,11 +197,20 @@ def run_churn(cycles=500, config_name="BabelFish", sanitize=True,
             victim = pool.pop(rng.randrange(len(pool)))
             engine.stop(victim)
             stops += 1
+            if progress is not None:
+                progress.count("stops")
+        if progress is not None:
+            progress.count("launches")
+            progress.advance(1)
 
     # Drain the pool: the storm must end exactly where it began.
     while pool:
         engine.stop(pool.pop())
         stops += 1
+        if progress is not None:
+            progress.count("stops")
+    if progress is not None:
+        progress.finish()
 
     final = resource_snapshot(env)
     leaks = snapshot_diff(baseline, final)

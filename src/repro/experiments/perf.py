@@ -91,9 +91,15 @@ def hot_trace(container_index, records, seed_offset=0):
     return out
 
 
-def run_hot(config, cores, records):
+def run_hot(config, cores, records, monitor=None):
     """Deploy, warm (quarter-length trace + reset), then time the
-    measured trace. Returns ``(as_dict, total_accesses, seconds)``."""
+    measured trace. Returns ``(as_dict, total_accesses, seconds)``.
+
+    ``monitor`` (a :class:`repro.obs.live.ProgressMonitor`) is attached
+    to the simulator for the measured run only — the run loop advances
+    it once per quantum with instructions consumed and the batch
+    engine's punt total.
+    """
     env = build_environment(config, cores=cores)
     deployment = deploy_app(env, APP_PROFILES[HOT_APP])
     sim = env.sim
@@ -106,6 +112,7 @@ def run_hot(config, cores, records):
     sim.reset_measurement()
     env.kernel.reset_fault_counters()
     env.kernel.clear_accessed_bits()
+    sim.progress = monitor
 
     # Traces are materialized before the clock starts so record
     # generation is not part of the measurement, and the clock starts
@@ -122,13 +129,28 @@ def run_hot(config, cores, records):
     return result.as_dict(), records * len(deployment.containers), seconds
 
 
-def measure_tier(tier, config_name="BabelFish", repeats=None):
+def arch_dict(run_dict):
+    """The architectural view of a ``RunResult.as_dict()``: the batch
+    engine's ``"batch"`` diagnostics section (punt attribution,
+    claim-length histograms — properties of the *engine*, not of the
+    simulated machine) is stripped, because bit-identity claims are
+    about the architecture only."""
+    if "batch" in run_dict:
+        run_dict = dict(run_dict)
+        del run_dict["batch"]
+    return run_dict
+
+
+def measure_tier(tier, config_name="BabelFish", repeats=None, monitor=None):
     """One tier, both ways; raises if the results are not bit-identical.
 
     Tiers with config ``overrides`` (the batch tier) time three ways —
     accelerated (overrides applied), plain fast path, and reference —
     and assert all three results identical, so the entry reports the
     accelerated ratio *and* the fast-path ratio on the same workload.
+    Batch-tier entries also carry the engine's punt attribution, making
+    the residual punt count (and its cause split) part of the tracked
+    trajectory.
     """
     spec = TIERS[tier]
     repeats = repeats or spec["repeats"]
@@ -143,16 +165,19 @@ def measure_tier(tier, config_name="BabelFish", repeats=None):
     reference_seconds = []
     fast_dict = reference_dict = accesses = None
     for _ in range(repeats):
-        fast_dict, accesses, seconds = run_hot(fast_config, cores, records)
+        fast_dict, accesses, seconds = run_hot(fast_config, cores, records,
+                                               monitor=monitor)
         fast_seconds.append(seconds)
-        reference_dict, _, seconds = run_hot(reference_config, cores, records)
+        reference_dict, _, seconds = run_hot(reference_config, cores,
+                                             records, monitor=monitor)
         reference_seconds.append(seconds)
-        if fast_dict != reference_dict:
+        if arch_dict(fast_dict) != reference_dict:
             raise AssertionError(
                 "fast path diverged from reference on tier %r (%s)"
                 % (tier, config_name))
         if plain_config is not None:
-            plain_dict, _, seconds = run_hot(plain_config, cores, records)
+            plain_dict, _, seconds = run_hot(plain_config, cores, records,
+                                             monitor=monitor)
             plain_seconds.append(seconds)
             if plain_dict != reference_dict:
                 raise AssertionError(
@@ -174,6 +199,12 @@ def measure_tier(tier, config_name="BabelFish", repeats=None):
         entry["overrides"] = dict(overrides)
     if plain_seconds:
         entry["fastpath_speedup"] = round(reference_best / min(plain_seconds), 3)
+    diagnostics = fast_dict.get("batch")
+    if diagnostics is not None:
+        entry["punts"] = {"total": diagnostics["punts"],
+                          "causes": dict(diagnostics["punt_causes"]),
+                          "claims": diagnostics["claims"],
+                          "claimed_records": diagnostics["claimed_records"]}
     return entry
 
 
@@ -182,9 +213,17 @@ def default_output_path():
     return pathlib.Path(__file__).resolve().parents[3] / "BENCH_hotpath.json"
 
 
-def run_harness(smoke=False, out=None, repeats=None, progress=print):
+def run_harness(smoke=False, out=None, repeats=None, progress=print,
+                live=False):
     """Run the tier set (smoke: smoke + batch; full: all tiers), merge
     the new entries into the trajectory JSON, and return the payload.
+
+    ``live=True`` attaches a per-tier
+    :class:`~repro.obs.live.ProgressMonitor` to every timed run, so
+    long tiers show throughput/punt lines on stderr while they measure
+    (the monitor rides the simulator's per-quantum hook; it is part of
+    the timed region, which is exactly the overhead the obs benchmark
+    bounds).
 
     The write is read-modify-write: tiers already present in the file
     but not run this invocation (e.g. ``medium`` during a ``--smoke``
@@ -206,7 +245,12 @@ def run_harness(smoke=False, out=None, repeats=None, progress=print):
     for tier in tiers:
         progress("hotpath %s: cores=%d records=%d ..."
                  % (tier, TIERS[tier]["cores"], TIERS[tier]["records"]))
-        entry = measure_tier(tier, repeats=repeats)
+        monitor = None
+        if live:
+            from repro.obs.live import ProgressMonitor
+            monitor = ProgressMonitor(unit="instructions",
+                                      label="perf:%s" % tier, interval=2.0)
+        entry = measure_tier(tier, repeats=repeats, monitor=monitor)
         payload["tiers"][tier] = entry
         progress("hotpath %s: %.2fx (%d vs %d accesses/sec, identical=%s)"
                  % (tier, entry["speedup"], entry["fast_accesses_per_sec"],

@@ -23,9 +23,11 @@ results exactly like a sequential one.
 
 import concurrent.futures
 import dataclasses
+import multiprocessing
 
 from repro.experiments import common, runcache
 from repro.experiments.runcache import DiskRunCache
+from repro.obs import live
 from repro.obs.profile import PhaseProfiler
 from repro.workloads.profiles import COMPUTE_APPS, SERVING_APPS
 
@@ -168,18 +170,22 @@ def run_request(request):
                           containers_per_core=request.containers_per_core)
 
 
-def _init_worker(cache_root, fingerprint):
+def _init_worker(cache_root, fingerprint, progress_queue=None):
     """Pool initializer: give the worker the parent's disk cache (workers
     must not inherit in-memory state assumptions; with the ``spawn``
-    start method they inherit nothing at all)."""
+    start method they inherit nothing at all) and, when the parent wants
+    live progress, the shard-progress queue."""
     if cache_root is not None:
         common.set_disk_cache(DiskRunCache(cache_root,
                                            fingerprint=fingerprint))
+    if progress_queue is not None:
+        live.bind_worker_queue(progress_queue)
 
 
 def _worker_execute(request):
     """Run a request in a worker and return its picklable summary."""
     run = run_request(request)
+    live.post_shard(request.label(), done=1)
     if request.kind == "functions":
         return common.summarize_functions_run(run, request.cores,
                                               request.scale)
@@ -197,16 +203,34 @@ def _install_summary(request, summary):
         request.containers_per_core)
 
 
-def _pool(jobs):
+def _pool(jobs, progress_queue=None):
     cache = common.disk_cache()
     root = str(cache.root) if cache is not None else None
     fingerprint = cache.fingerprint if cache is not None else None
     return concurrent.futures.ProcessPoolExecutor(
         max_workers=jobs, initializer=_init_worker,
-        initargs=(root, fingerprint))
+        initargs=(root, fingerprint, progress_queue))
 
 
-def execute(requests, jobs=1, progress=None, profiler=None):
+def _progress_channel(monitor, jobs, total):
+    """``(manager, queue, aggregator)`` for a parallel leg, or Nones.
+
+    Worker shards post per-item payloads onto a managed queue; the
+    parent drains it as futures complete and feeds the deterministic
+    merge (:meth:`~repro.obs.live.ProgressAggregator.merged` sums over
+    sorted shard labels, so the monitor's totals never depend on
+    completion order) into ``monitor``.  The caller must keep the
+    returned manager alive for as long as the queue is in use.
+    """
+    if monitor is None or jobs <= 1:
+        return None, None, None
+    if monitor.total is None:
+        monitor.total = total
+    manager = multiprocessing.Manager()
+    return manager, manager.Queue(), live.ProgressAggregator()
+
+
+def execute(requests, jobs=1, progress=None, profiler=None, monitor=None):
     """Resolve ``requests`` through the caches, simulating each distinct
     miss once with ``jobs`` workers.
 
@@ -220,6 +244,12 @@ def execute(requests, jobs=1, progress=None, profiler=None):
     per-request simulate spans drive the progress lines, and the
     ``cache_hit``/``cache_miss`` counters give ``--jobs N`` runs the
     same summary shape as sequential ones.
+
+    ``monitor`` (a :class:`repro.obs.live.ProgressMonitor`) tracks
+    simulated requests: sequential legs advance it directly; parallel
+    legs aggregate per-shard payloads posted by the workers over a
+    managed queue and feed the deterministic merge after every
+    completed future.
     """
     profiler = PhaseProfiler() if profiler is None else profiler
     unique = list(dict.fromkeys(requests))
@@ -231,6 +261,8 @@ def execute(requests, jobs=1, progress=None, profiler=None):
             if run is not None:
                 runs[request] = run
                 profiler.count("cache_hit")
+                if monitor is not None:
+                    monitor.count("cached")
                 if progress:
                     progress("[cached] %s" % request.label())
             else:
@@ -239,14 +271,19 @@ def execute(requests, jobs=1, progress=None, profiler=None):
 
     total = len(pending)
     if total and (jobs <= 1 or total == 1):
+        if monitor is not None and monitor.total is None:
+            monitor.total = total
         for index, request in enumerate(pending):
             with profiler.span("simulate") as span:
                 runs[request] = run_request(request)
+            if monitor is not None:
+                monitor.advance(1)
             if progress:
                 progress("[%d/%d] %s  %.1fs"
                          % (index + 1, total, request.label(), span.seconds))
     elif total:
-        with profiler.span("simulate:parallel"), _pool(jobs) as pool:
+        manager, queue, aggregator = _progress_channel(monitor, jobs, total)
+        with profiler.span("simulate:parallel"), _pool(jobs, queue) as pool:
             submitted = profiler.clock()
             futures = {pool.submit(_worker_execute, request): request
                        for request in pending}
@@ -256,6 +293,9 @@ def execute(requests, jobs=1, progress=None, profiler=None):
                 with profiler.span("install"):
                     runs[request] = _install_summary(request, future.result())
                 done += 1
+                if aggregator is not None:
+                    aggregator.drain(queue)
+                    aggregator.feed(monitor)
                 # Submit-to-completion wall time for this request (the
                 # pool submits everything up front, so this is how long
                 # the request took to come back, queueing included).
@@ -264,40 +304,71 @@ def execute(requests, jobs=1, progress=None, profiler=None):
                 if progress:
                     progress("[%d/%d] %s  %.1fs"
                              % (done, total, request.label(), waited))
+        if manager is not None:
+            manager.shutdown()
+    if monitor is not None:
+        monitor.finish()
     if progress:
         progress(profiler.summary_line())
     return [runs[request] for request in requests]
 
 
-def parallel_map(fn, items, jobs=1, progress=None, profiler=None):
+def _map_worker(fn, index, item):
+    """Worker-side wrapper for :func:`parallel_map` items: runs the
+    mapped function and posts one shard-progress payload (shard label =
+    item index, so the parent's merge is deterministic)."""
+    result = fn(item)
+    live.post_shard("map:%06d" % index, done=1)
+    return result
+
+
+def parallel_map(fn, items, jobs=1, progress=None, profiler=None,
+                 monitor=None):
     """Order-preserving map over pure, picklable work items.
 
     ``fn`` must be a module-level function.  With ``jobs <= 1`` this is a
     plain loop; otherwise items run across a process pool whose workers
-    share the parent's disk cache.
+    share the parent's disk cache.  ``monitor`` (a
+    :class:`repro.obs.live.ProgressMonitor`) is advanced per completed
+    item; parallel legs route per-shard payloads through the managed
+    queue exactly like :func:`execute`.
     """
     profiler = PhaseProfiler() if profiler is None else profiler
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
+        if monitor is not None and monitor.total is None:
+            monitor.total = len(items)
         results = []
         for index, item in enumerate(items):
             with profiler.span("map") as span:
                 results.append(fn(item))
+            if monitor is not None:
+                monitor.advance(1)
             if progress:
                 progress("[%d/%d] done  %.1fs"
                          % (index + 1, len(items), span.seconds))
+        if monitor is not None:
+            monitor.finish()
         return results
     results = [None] * len(items)
-    with profiler.span("map:parallel"), _pool(jobs) as pool:
+    manager, queue, aggregator = _progress_channel(monitor, jobs, len(items))
+    with profiler.span("map:parallel"), _pool(jobs, queue) as pool:
         submitted = profiler.clock()
-        futures = {pool.submit(fn, item): index
+        futures = {pool.submit(_map_worker, fn, index, item): index
                    for index, item in enumerate(items)}
         done = 0
         for future in concurrent.futures.as_completed(futures):
             results[futures[future]] = future.result()
             done += 1
+            if aggregator is not None:
+                aggregator.drain(queue)
+                aggregator.feed(monitor)
             if progress:
                 progress("[%d/%d] done  %.1fs"
                          % (done, len(items),
                             profiler.clock() - submitted))
+    if manager is not None:
+        manager.shutdown()
+    if monitor is not None:
+        monitor.finish()
     return results

@@ -14,10 +14,25 @@ BF101 layering DAG):
 - **phase profiling + exporters** (:mod:`repro.obs.profile`,
   :mod:`repro.obs.export`, :mod:`repro.obs.summary`): wall-clock spans
   for the harness, JSONL and Chrome ``trace_event`` sinks, and the
-  ``python -m repro.obs`` summarize/diff CLI.
+  ``python -m repro.obs`` summarize/diff/perfwatch CLI;
+- **live telemetry** (:mod:`repro.obs.live`, :mod:`repro.obs.perfwatch`):
+  streaming event sinks (JSONL/gzip/optional-zstd, atomic tmp+rename
+  finalize) the tracer drains at ring-wrap, a ProgressMonitor with
+  throughput/ETA snapshot lines, deterministic per-shard progress
+  aggregation for the process-pool fan-out, and the perf-regression
+  watchdog over BENCH_hotpath.json trajectories.
 """
 
-from repro.obs.events import event_to_dict
+from repro.obs.events import event_from_dict, event_to_dict
+from repro.obs.live import (
+    GzipSink,
+    JsonlSink,
+    ProgressAggregator,
+    ProgressMonitor,
+    StreamingSink,
+    ZstdSink,
+    open_sink,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -27,18 +42,27 @@ from repro.obs.metrics import (
     merge_snapshots,
 )
 from repro.obs.profile import PhaseProfiler
-from repro.obs.tracer import TraceOptions, Tracer, resolve_trace_options
+from repro.obs.tracer import (
+    TraceOptions,
+    Tracer,
+    replay_events,
+    resolve_trace_options,
+)
 from repro.obs.export import (
     chrome_trace,
+    open_text,
     write_chrome_trace,
     write_jsonl,
 )
 from repro.obs.summary import diff, flatten, format_summary, summarize
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "PhaseProfiler",
-    "TraceOptions", "Tracer", "chrome_trace", "diff", "event_to_dict",
-    "flatten", "format_summary", "map_label", "merge_snapshots",
+    "Counter", "Gauge", "GzipSink", "Histogram", "JsonlSink",
+    "MetricsRegistry", "PhaseProfiler", "ProgressAggregator",
+    "ProgressMonitor", "StreamingSink", "TraceOptions", "Tracer",
+    "ZstdSink", "chrome_trace", "diff", "event_from_dict",
+    "event_to_dict", "flatten", "format_summary", "map_label",
+    "merge_snapshots", "open_sink", "open_text", "replay_events",
     "resolve_trace_options", "summarize", "write_chrome_trace",
     "write_jsonl",
 ]

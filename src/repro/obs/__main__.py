@@ -1,17 +1,24 @@
-"""``python -m repro.obs``: summarize and diff captured runs.
+"""``python -m repro.obs``: summarize, diff, and watch captured runs.
 
 Works on the artifacts ``python -m repro.experiments trace`` writes (a
 capture directory with ``summary.json``, ``trace.jsonl`` and
-``trace.chrome.json``) or directly on a summary/snapshot JSON file.
+``trace.chrome.json``), directly on a summary/snapshot JSON file, or on
+a raw event stream (``trace.jsonl``, or the ``.gz``/``.zst`` files the
+streaming sinks produce) — event streams are replayed through the
+tracer's fold, so their summary is exactly the live run's registry.
 
     python -m repro.experiments trace --quick --out /tmp/obs-bf
     python -m repro.obs summarize /tmp/obs-bf
     python -m repro.obs diff /tmp/obs-bf /tmp/obs-base
+    python -m repro.obs summarize /tmp/long-run/trace.jsonl.gz
+    python -m repro.obs perfwatch /tmp/BENCH_fresh.json
 
 ``summarize`` prints per-container fault breakdowns, the shared/private
 TLB hit matrix, walk latency, and the hottest VPNs. ``diff`` prints
 per-metric deltas between two runs — regression triage: only metrics a
-change actually affected show nonzero deltas.
+change actually affected show nonzero deltas. ``perfwatch`` diffs a
+fresh BENCH_hotpath.json against the committed trajectory and exits
+nonzero on regression (the CI watchdog).
 """
 
 import argparse
@@ -19,22 +26,55 @@ import json
 import pathlib
 import sys
 
+from repro.obs import export, perfwatch
 from repro.obs.summary import diff, format_diff, format_summary, summarize
+from repro.obs.tracer import replay_events
+
+
+def _looks_like_event_stream(path):
+    """True when the file's first non-blank line is a single event dict
+    (JSONL stream) rather than a snapshot/summary JSON document."""
+    try:
+        with export.open_text(path) as source:
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                return isinstance(data, dict) and "event" in data
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return False
 
 
 def load_snapshot(path):
-    """An obs snapshot from a capture dir, a capture summary.json, or a
-    bare snapshot JSON file."""
+    """An obs snapshot from a capture dir, a capture summary.json, a
+    bare snapshot JSON file, or a (possibly compressed) event stream."""
     path = pathlib.Path(path)
     if path.is_dir():
         path = path / "summary.json"
-    data = json.loads(path.read_text())
+    if _looks_like_event_stream(path):
+        return replay_events(export.read_jsonl(path)).snapshot()
+    with export.open_text(path) as source:
+        data = json.load(source)
     if "metrics" in data:
         return data
     if isinstance(data.get("obs"), dict):
         return data["obs"]
     raise SystemExit("%s holds no obs snapshot (expected a 'metrics' or "
                      "'obs' key)" % path)
+
+
+def _parse_tolerance(spec):
+    tier, _, value = spec.partition("=")
+    if not tier or not value:
+        raise argparse.ArgumentTypeError(
+            "expected TIER=FRACTION (e.g. smoke=0.35), got %r" % spec)
+    try:
+        return tier, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "tolerance for %r is not a number: %r" % (tier, value))
 
 
 def main(argv=None):
@@ -44,7 +84,8 @@ def main(argv=None):
 
     sum_parser = sub.add_parser(
         "summarize", help="triage summary of one captured run")
-    sum_parser.add_argument("run", help="capture dir or summary JSON file")
+    sum_parser.add_argument("run", help="capture dir, summary JSON file, "
+                            "or event stream (.jsonl/.gz/.zst)")
     sum_parser.add_argument("--top", type=int, default=10,
                             help="hottest VPNs to list (default 10)")
     sum_parser.add_argument("--json", action="store_true",
@@ -52,10 +93,30 @@ def main(argv=None):
 
     diff_parser = sub.add_parser(
         "diff", help="per-metric deltas between two captured runs")
-    diff_parser.add_argument("run_a", help="capture dir or summary JSON")
-    diff_parser.add_argument("run_b", help="capture dir or summary JSON")
+    diff_parser.add_argument("run_a", help="capture dir, summary JSON, "
+                             "or event stream")
+    diff_parser.add_argument("run_b", help="capture dir, summary JSON, "
+                             "or event stream")
     diff_parser.add_argument("--all", action="store_true",
                              help="also list unchanged metrics")
+
+    watch_parser = sub.add_parser(
+        "perfwatch", help="fail when a fresh perf trajectory regresses "
+        "against the committed one")
+    watch_parser.add_argument("fresh", help="freshly measured "
+                              "BENCH_hotpath.json")
+    watch_parser.add_argument("--baseline", default=None,
+                              help="committed trajectory to compare "
+                              "against (default: the repo's "
+                              "BENCH_hotpath.json)")
+    watch_parser.add_argument("--tolerance", action="append", default=[],
+                              type=_parse_tolerance, metavar="TIER=FRAC",
+                              help="per-tier regression band, e.g. "
+                              "smoke=0.5 (repeatable)")
+    watch_parser.add_argument("--default-tolerance", type=float,
+                              default=None, metavar="FRAC",
+                              help="band for tiers without an explicit "
+                              "--tolerance")
 
     args = parser.parse_args(argv)
     if args.command == "summarize":
@@ -65,6 +126,12 @@ def main(argv=None):
         else:
             print(format_summary(summary))
         return 0
+
+    if args.command == "perfwatch":
+        return perfwatch.watch(
+            args.fresh, baseline_path=args.baseline,
+            tolerances=dict(args.tolerance),
+            default_tolerance=args.default_tolerance)
 
     rows = diff(load_snapshot(args.run_a), load_snapshot(args.run_b))
     print(format_diff(rows, only_changed=not args.all))

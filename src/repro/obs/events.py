@@ -46,6 +46,9 @@ FIELDS = (
     ("pcid", "ccid", "invalidations"),
 )
 
+#: Wire name -> code (inverse of :data:`NAMES`).
+CODES = {name: code for code, name in enumerate(NAMES)}
+
 PROVENANCE_SHARED = "shared"
 PROVENANCE_PRIVATE = "private"
 
@@ -58,3 +61,12 @@ def event_to_dict(event):
     for name, value in zip(FIELDS[etype], event[4:]):
         data[name] = value
     return data
+
+
+def event_from_dict(data):
+    """The exact inverse of :func:`event_to_dict` — rebuilds the compact
+    tuple from a JSONL line, so streamed trace files can be replayed
+    through the tracer's fold (:func:`repro.obs.tracer.replay_events`)."""
+    etype = CODES[data["event"]]
+    return ((etype, data["core"], data["cycle"], data["pid"])
+            + tuple(data[name] for name in FIELDS[etype]))

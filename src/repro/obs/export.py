@@ -8,29 +8,109 @@ load: one track (tid) per core under a single "simulator" process,
 complete events ("ph": "X") for scheduler quanta, and instant events
 ("ph": "i") for faults and TLB invalidations. Timestamps are core-local
 cycles presented as microseconds — relative spans are what matter.
+
+Every writer here is atomic (tmp file + ``os.replace``, the same idiom
+the perf harness uses for BENCH_hotpath.json): a killed run leaves
+either the previous complete artifact or a stray ``*.tmp``, never a
+truncated ``trace.jsonl``. Paths ending in ``.gz`` or ``.zst`` are
+compressed/decompressed transparently on both the read and write side
+(zstd only when a zstd module is importable — it is optional and never
+required by any default path).
 """
 
+import gzip
 import json
+import os
 
 from repro.obs import events as ev
 
 #: The single chrome-trace process all core tracks live under.
 _TRACE_PID = 0
 
+try:  # Python 3.14+ ships zstd in the standard library.
+    from compression import zstd as _zstd_std
+except ImportError:
+    _zstd_std = None
+try:  # third-party backport; optional.
+    import zstandard as _zstd_pkg
+except ImportError:
+    _zstd_pkg = None
+
+
+def zstd_available():
+    """True when some zstd implementation is importable."""
+    return _zstd_std is not None or _zstd_pkg is not None
+
+
+def codec_of(path):
+    """Compression codec implied by a path suffix."""
+    name = str(path)
+    if name.endswith(".gz"):
+        return "gzip"
+    if name.endswith(".zst"):
+        return "zstd"
+    return "plain"
+
+
+def open_text(path, mode="rt", codec=None):
+    """Open a text stream, dispatching on the path's compression suffix.
+
+    ``codec`` overrides suffix detection — the streaming sinks write to
+    ``<path>.tmp`` staging files whose suffix no longer names the codec.
+    """
+    codec = codec or codec_of(path)
+    if "b" in mode:
+        raise ValueError("open_text is text-only; got mode %r" % mode)
+    text_mode = mode if "t" in mode else mode + "t"
+    if codec == "gzip":
+        return gzip.open(path, text_mode)
+    if codec == "zstd":
+        if _zstd_std is not None:
+            return _zstd_std.open(path, text_mode)
+        if _zstd_pkg is not None:
+            return _zstd_pkg.open(path, text_mode)
+        raise RuntimeError(
+            "%s needs a zstd module (stdlib compression.zstd or the "
+            "zstandard package); neither is installed — use .gz or plain "
+            ".jsonl instead" % path)
+    return open(path, mode.replace("t", "") or "r")
+
+
+def _atomic_text(path, write_fn, codec=None):
+    """Write a text artifact via tmp + ``os.replace``; cleans up the tmp
+    file if the writer raises."""
+    path = str(path)
+    tmp = path + ".tmp"
+    try:
+        with open_text(tmp, "w", codec=codec or codec_of(path)) as sink:
+            result = write_fn(sink)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return result
+
 
 def write_jsonl(events, path):
-    """Write events as JSON Lines; returns the number written."""
-    count = 0
-    with open(path, "w") as sink:
+    """Atomically write events as JSON Lines; returns the number
+    written. A ``.gz``/``.zst`` suffix compresses the stream."""
+
+    def emit(sink):
+        count = 0
         for event in events:
             sink.write(json.dumps(ev.event_to_dict(event), sort_keys=True))
             sink.write("\n")
             count += 1
-    return count
+        return count
+
+    return _atomic_text(path, emit)
 
 
 def read_jsonl(path):
-    with open(path) as source:
+    with open_text(path) as source:
         return [json.loads(line) for line in source if line.strip()]
 
 
@@ -74,6 +154,5 @@ def chrome_trace(events, metadata=None):
 
 def write_chrome_trace(events, path, metadata=None):
     doc = chrome_trace(events, metadata)
-    with open(path, "w") as sink:
-        json.dump(doc, sink, sort_keys=True)
+    _atomic_text(path, lambda sink: json.dump(doc, sink, sort_keys=True))
     return len(doc["traceEvents"])

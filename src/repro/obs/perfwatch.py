@@ -1,0 +1,140 @@
+"""Perf-regression watchdog over BENCH_hotpath.json trajectories.
+
+``python -m repro.obs perfwatch FRESH [--baseline COMMITTED]`` compares
+a freshly measured trajectory against the committed one tier by tier
+and exits nonzero when any watched metric falls below its per-tier
+tolerance floor. The watched metrics are the machine-normalized speedup
+*ratios* (batch/reference and fastpath/reference) — ratios transfer
+across machines far better than absolute access rates, which is what
+makes a CI runner's fresh measurement comparable to a trajectory
+recorded on a dev box at all. Tolerances are therefore per-tier: the
+tiny smoke tier is noise-dominated and gets a wide band, the medium and
+batch tiers are long enough to hold a tighter one.
+
+A tier present in only one file is reported (``new`` / ``skipped``) but
+never fails the watch — the smoke harness does not run the medium tier,
+and that must not read as a regression. A fresh tier whose
+``identical`` flag is False fails unconditionally: bit-identity of the
+fast engines is the one metric with zero tolerance.
+"""
+
+import json
+import os
+
+#: Regression floor per tier, as a fraction of the baseline value
+#: (0.35 = fail below 65% of baseline). Overridable per invocation.
+DEFAULT_TOLERANCES = {"smoke": 0.35, "medium": 0.15, "batch": 0.20}
+DEFAULT_TOLERANCE = 0.15
+
+#: Tier-entry keys watched for regressions (higher is better).
+WATCHED = ("speedup", "fastpath_speedup")
+
+
+def repo_baseline_path():
+    """The committed BENCH_hotpath.json at the repository root (resolved
+    relative to this file, so it works from any CWD)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.abspath(
+        os.path.join(here, "..", "..", "..", "BENCH_hotpath.json"))
+
+
+def load_trajectory(path):
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit("perfwatch: trajectory file not found: %s" % path)
+    except json.JSONDecodeError as exc:
+        raise SystemExit("perfwatch: %s is not valid JSON (%s)"
+                         % (path, exc))
+    if not isinstance(data.get("tiers"), dict):
+        raise SystemExit("perfwatch: %s has no 'tiers' table" % path)
+    return data
+
+
+def compare(fresh, baseline, tolerances=None, default_tolerance=None):
+    """Diff two trajectory payloads; returns ``(rows, regressions)``.
+
+    Each row is a dict with tier/metric/baseline/fresh/floor/status;
+    ``regressions`` is the subset that should fail the watch.
+    """
+    tol = dict(DEFAULT_TOLERANCES)
+    tol.update(tolerances or {})
+    fallback = (DEFAULT_TOLERANCE if default_tolerance is None
+                else default_tolerance)
+    fresh_tiers = fresh.get("tiers", {})
+    base_tiers = baseline.get("tiers", {})
+    rows, regressions = [], []
+    for tier in sorted(fresh_tiers):
+        entry = fresh_tiers[tier]
+        if entry.get("identical") is False:
+            row = {"tier": tier, "metric": "identical", "baseline": True,
+                   "fresh": False, "floor": True, "status": "regression"}
+            rows.append(row)
+            regressions.append(row)
+        base = base_tiers.get(tier)
+        if base is None:
+            rows.append({"tier": tier, "metric": "-", "baseline": None,
+                         "fresh": None, "floor": None, "status": "new"})
+            continue
+        band = tol.get(tier, fallback)
+        for metric in WATCHED:
+            if metric not in entry or metric not in base:
+                continue
+            floor = base[metric] * (1.0 - band)
+            if entry[metric] < floor:
+                status = "regression"
+            elif entry[metric] > base[metric] * (1.0 + band):
+                status = "improved"
+            else:
+                status = "ok"
+            row = {"tier": tier, "metric": metric,
+                   "baseline": base[metric], "fresh": entry[metric],
+                   "floor": floor, "status": status}
+            rows.append(row)
+            if status == "regression":
+                regressions.append(row)
+    for tier in sorted(set(base_tiers) - set(fresh_tiers)):
+        rows.append({"tier": tier, "metric": "-", "baseline": None,
+                     "fresh": None, "floor": None, "status": "skipped"})
+    return rows, regressions
+
+
+def format_report(rows, regressions):
+    lines = ["%-8s %-18s %10s %10s %10s  %s"
+             % ("tier", "metric", "baseline", "fresh", "floor", "status")]
+    for row in rows:
+        lines.append("%-8s %-18s %10s %10s %10s  %s"
+                     % (row["tier"], row["metric"], _fmt(row["baseline"]),
+                        _fmt(row["fresh"]), _fmt(row["floor"]),
+                        row["status"]))
+    if regressions:
+        lines.append("")
+        lines.append("PERF REGRESSION: %d watched metric(s) below the "
+                     "tolerance floor" % len(regressions))
+    else:
+        lines.append("")
+        lines.append("perfwatch: all watched metrics within tolerance")
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    return "%.3f" % value
+
+
+def watch(fresh_path, baseline_path=None, tolerances=None,
+          default_tolerance=None):
+    """Load, compare, print the report; returns the process exit code
+    (0 clean, 1 regression)."""
+    baseline_path = baseline_path or repo_baseline_path()
+    fresh = load_trajectory(fresh_path)
+    baseline = load_trajectory(baseline_path)
+    rows, regressions = compare(fresh, baseline, tolerances=tolerances,
+                                default_tolerance=default_tolerance)
+    print("perfwatch: %s vs baseline %s" % (fresh_path, baseline_path))
+    print(format_report(rows, regressions))
+    return 1 if regressions else 0

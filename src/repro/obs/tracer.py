@@ -13,12 +13,22 @@ The ring is a ``deque(maxlen=...)``: long runs keep the freshest events
 into as it is emitted — keeps exact whole-run aggregates. That is why
 ``summarize`` can cross-check the :class:`~repro.sim.stats.MMUStats`
 counters even when the ring has wrapped.
+
+With ``TraceOptions(sink=...)`` the ring becomes a write-behind buffer
+instead of a lossy window: when it fills, the whole chunk is drained to
+a :class:`~repro.obs.live.StreamingSink` (JSONL, ``.gz``, or ``.zst``
+by suffix) and cleared, so nothing is ever dropped and memory stays
+O(buffer_size) no matter how long the run is. :func:`replay_events`
+closes the loop — folding a streamed file back through the same
+emitters reproduces the exact registry the live run built, which is how
+the ring/stream equivalence is proven.
 """
 
 import collections
 import dataclasses
 
 from repro.obs import events as ev
+from repro.obs import live
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -27,7 +37,8 @@ class TraceOptions:
     """What to record; all families default on."""
 
     #: Ring capacity in events; older events are dropped (the registry
-    #: still aggregates them).
+    #: still aggregates them) — unless ``sink`` is set, in which case a
+    #: full ring is drained to the sink and nothing is lost.
     buffer_size: int = 1 << 16
     tlb: bool = True
     walks: bool = True
@@ -35,6 +46,10 @@ class TraceOptions:
     sched: bool = True
     invalidations: bool = True
     lifecycle: bool = True
+    #: Streaming sink path (a plain string keeps this dataclass hashable
+    #: for the run-cache key); ``.gz``/``.zst`` suffixes select the
+    #: compressed codecs. None keeps the classic drop-oldest ring.
+    sink: str = None
 
 
 def resolve_trace_options(trace):
@@ -64,6 +79,9 @@ class Tracer:
         self.events = collections.deque(maxlen=self.options.buffer_size)
         self.registry = MetricsRegistry()
         self.emitted = 0
+        self.streamed = 0
+        self.sink = (live.open_sink(self.options.sink)
+                     if self.options.sink else None)
         self._clock = {}
 
     # -- clock -------------------------------------------------------------
@@ -76,19 +94,52 @@ class Tracer:
 
     @property
     def dropped(self):
+        """Events lost to ring wrap; always 0 with a sink attached (the
+        ring drains instead of dropping)."""
+        if self.sink is not None:
+            return 0
         return self.emitted - len(self.events)
 
     def reset(self):
         """Forget everything (the simulator's ``reset_measurement``:
-        warm-up events must not leak into the measured snapshot)."""
+        warm-up events must not leak into the measured snapshot). With a
+        sink attached, its staging file is truncated too."""
         self.events.clear()
         self.registry = MetricsRegistry()
         self.emitted = 0
+        self.streamed = 0
+        if self.sink is not None:
+            self.sink.reset()
         self._clock = {}
 
     def _emit(self, event):
-        self.events.append(event)
+        events = self.events
+        if self.sink is not None and len(events) == events.maxlen:
+            self.flush()
+        events.append(event)
         self.emitted += 1
+
+    # -- streaming ---------------------------------------------------------
+
+    def flush(self):
+        """Drain the ring to the sink (chunked flush at ring-wrap, and
+        at end-of-run so the staging file always holds the full stream).
+        No-op without a sink; returns the number of events written."""
+        if self.sink is None or self.sink.finalized or not self.events:
+            return 0
+        written = self.sink.write_events(self.events)
+        self.events.clear()
+        self.streamed += written
+        return written
+
+    def finalize(self):
+        """Drain the tail and atomically publish the sink file; returns
+        its path (None without a sink). Call once the whole experiment
+        is done — the tracer stops streaming afterwards."""
+        if self.sink is None:
+            return None
+        self.flush()
+        return self.sink.close()
 
     # -- emitters ----------------------------------------------------------
 
@@ -185,10 +236,57 @@ class Tracer:
 
     def snapshot(self):
         """The JSON-ready whole-run aggregate (``RunResult.obs``)."""
-        return {
+        snap = {
             "options": dataclasses.asdict(self.options),
             "events_emitted": self.emitted,
             "events_kept": len(self.events),
             "events_dropped": self.dropped,
             "metrics": self.registry.snapshot(),
         }
+        if self.sink is not None:
+            snap["events_streamed"] = self.streamed
+            snap["sink"] = self.sink.snapshot()
+        return snap
+
+
+def replay_events(event_dicts, options=None):
+    """Fold a streamed/exported event sequence back through a fresh
+    tracer; returns that tracer (ring + registry populated).
+
+    Replaying a sink file produced by a run with all event families on
+    rebuilds the *exact* registry the live run had — the equivalence
+    ``python -m repro.obs summarize`` relies on when pointed at a
+    ``.jsonl``/``.gz``/``.zst`` event stream instead of a summary.
+    """
+    tracer = Tracer(options)
+    for data in event_dicts:
+        etype = ev.CODES[data["event"]]
+        core, cycle, pid = data["core"], data["cycle"], data["pid"]
+        tracer.tick(core, cycle)
+        if etype == ev.TLB_HIT:
+            tracer.tlb_hit(core, pid, data["level"], data["vpn"],
+                           data["provenance"] == ev.PROVENANCE_SHARED)
+        elif etype == ev.TLB_MISS:
+            tracer.tlb_miss(core, pid, data["level"], data["vpn"],
+                            data["instr"])
+        elif etype == ev.PAGE_WALK:
+            tracer.page_walk(core, pid, data["vpn"], data["cycles"],
+                             data["fault"], data["levels"])
+        elif etype == ev.FAULT:
+            tracer.fault(core, pid, data["vpn"], data["kind"],
+                         data["cycles"], data["pte_page_copied"],
+                         data["invalidations"])
+        elif etype == ev.SCHED_SWITCH:
+            tracer.sched_switch(core, data["prev_pid"], data["next_pid"])
+        elif etype == ev.INVALIDATION:
+            tracer.invalidation(core, pid, data["vpn"], data["scope"])
+        elif etype == ev.QUANTUM:
+            tracer.quantum(core, pid, cycle, data["end_cycle"],
+                           data["instructions"])
+        elif etype == ev.PROCESS_SPAWN:
+            tracer.process_spawn(core, pid, data["pcid"], data["ccid"],
+                                 data["recycled"])
+        elif etype == ev.PROCESS_EXIT:
+            tracer.process_exit(core, pid, data["pcid"], data["ccid"],
+                                data["invalidations"])
+    return tracer

@@ -50,6 +50,16 @@ Gating: ``SimConfig.batch`` (default off) requires the fast structures
 (``structures_active``); ``REPRO_BATCH=0`` disables it, and
 ``REPRO_BATCH_NUMPY=0`` forces the pure-Python scan even when numpy is
 importable.
+
+Punt attribution (``BatchStats``, on by default, compiled out with
+``REPRO_BATCH_ATTRIBUTION=0``): every punt is classified by cause —
+the memo's peek verdict (memo miss, epoch movement, write verdict,
+ORPC mask bit) refined by what the scalar interlude actually did (CoW
+retry, other faults, epoch movement with intervening kernel
+invalidations = shootdown) — and every flushed claim feeds a
+claim-length histogram. The result rides on ``RunResult.as_dict()``
+under the ``"batch"`` key; it is engine diagnostics, not architecture,
+so identity comparisons strip it.
 """
 
 import bisect
@@ -57,6 +67,7 @@ import itertools
 import os
 
 from repro.hw.types import AccessKind
+from repro.obs.metrics import MetricsRegistry
 
 try:
     import numpy as _np
@@ -70,6 +81,13 @@ BATCH_ENV = "REPRO_BATCH"
 #: ``REPRO_BATCH_NUMPY=0`` selects the pure-Python fallback scan even
 #: when numpy is installed (the CI matrix drives both).
 BATCH_NUMPY_ENV = "REPRO_BATCH_NUMPY"
+
+#: ``REPRO_BATCH_ATTRIBUTION=0`` compiles out the per-cause punt
+#: counters and claim-length histograms (``Simulator.batch_stats`` stays
+#: None and every hook is a single ``is not None`` test) — the overhead
+#: benchmark drives both states to prove the instrumented engine stays
+#: within noise of the bare one.
+BATCH_ATTR_ENV = "REPRO_BATCH_ATTRIBUTION"
 
 #: Claim window: at most this many records are examined per claim.
 #: Module-level so tests can shrink it to force chunk boundaries.
@@ -109,6 +127,81 @@ def batch_active(config):
     return structures_active(config)
 
 
+def attribution_active():
+    """True when batch runs should collect punt attribution (default)."""
+    return os.environ.get(BATCH_ATTR_ENV, "1") != "0"
+
+
+#: Punt causes, from the memo's peek verdict refined by what the scalar
+#: interlude actually did: "cow_retry" (the punted record took a CoW
+#: write fault), "fault" (any other minor/major/spurious fault),
+#: "shootdown" (guard epochs moved with kernel invalidations applied to
+#: this core since the trace's last punt), "epoch" (guard epochs moved
+#: from plain replacement churn), "memo_miss" (key never seeded or
+#: evicted from the memo), "write_verdict" (read-seeded record asked to
+#: prove a write or vice versa), "mask_bit" (live ORPC privatization
+#: re-check failed).
+PUNT_CAUSES = ("cow_retry", "epoch", "fault", "mask_bit", "memo_miss",
+               "shootdown", "write_verdict")
+
+
+class BatchStats:
+    """Engine diagnostics for batched runs: why records punted out of
+    the claim path and how long the claimed spans ran.
+
+    Everything here is *diagnostic* — it lives outside
+    :class:`~repro.sim.stats.MMUStats` and is attached to the run as
+    ``RunResult.batch``, which identity comparisons against the scalar
+    engines strip (the architectural summary is bit-identical with
+    attribution on, off, or compiled out).
+
+    Counters and the claim-length histogram live in a real
+    :class:`~repro.obs.metrics.MetricsRegistry` (resolved once here, so
+    the punt hook is an attribute increment, not a registry lookup):
+    snapshots merge across the process-pool fan-out with
+    :func:`repro.obs.metrics.merge_snapshots` like any other registry.
+
+    A *claim* is one contiguous claimed span as flushed — spans are
+    bounded by ``CHUNK`` and cut at quantum ends, so a long steady run
+    shows up as several maximum-length claims rather than one.
+    """
+
+    __slots__ = ("registry", "punts", "claims", "claimed_records",
+                 "_cause_counters", "_claim_hist")
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.punts = 0
+        self.claims = 0
+        self.claimed_records = 0
+        self._cause_counters = {
+            cause: self.registry.counter("batch_punts", cause=cause)
+            for cause in PUNT_CAUSES}
+        self._claim_hist = self.registry.histogram("batch_claim_records")
+
+    def punt(self, cause):
+        self.punts += 1
+        self._cause_counters[cause].inc()
+
+    def claim(self, span):
+        self.claims += 1
+        self.claimed_records += span
+        self._claim_hist.observe(span)
+
+    def causes(self):
+        """Cause -> count, deterministically ordered."""
+        return {cause: self._cause_counters[cause].value
+                for cause in PUNT_CAUSES}
+
+    def snapshot(self):
+        """JSON-ready diagnostics (``RunResult.as_dict()['batch']``)."""
+        return {"claims": self.claims,
+                "claimed_records": self.claimed_records,
+                "punts": self.punts,
+                "punt_causes": self.causes(),
+                "metrics": self.registry.snapshot()}
+
+
 class BatchTrace:
     """One attached trace, compiled to flat parallel arrays.
 
@@ -138,6 +231,7 @@ class BatchTrace:
         "g_ok", "g_ppn", "g_ok_np", "g_ppn_np",
         "g_info", "masked", "rev", "log_cursors",
         "vlines_i", "vlines_d", "vlines_i_epoch", "vlines_d_epoch",
+        "inval_mark",
     )
 
     def bind(self, sim, core_id):
@@ -170,6 +264,10 @@ class BatchTrace:
         self.g_info = [None] * nkeys
         self.masked = {}
         self.last_nk = 0
+        #: Punt-attribution watermark against ``mmu.invals_applied``:
+        #: epoch-cause punts with invalidation activity since the last
+        #: punt classify as "shootdown" rather than replacement churn.
+        self.inval_mark = mmu.invals_applied
         self.rev = {}
         self.log_cursors = {}
         self.vlines_i = {}
@@ -455,6 +553,7 @@ def run_quantum_batch(sim, core_id, proc):
     """
     mmu = sim.mmus[core_id]
     stats = mmu.stats
+    bstats = sim.batch_stats
     bt = sim._traces.get(proc.pid)
     quantum = sim.scheduler.quantum_instructions
     request_latency = sim._request_latency
@@ -624,6 +723,18 @@ def run_quantum_batch(sim, core_id, proc):
                                              - mem_prefix[span_start])
                                 cycles += (cyc_prefix[i]
                                            - cyc_prefix[span_start])
+                                if bstats is not None:
+                                    bstats.claim(span)
+                            if bstats is not None:
+                                # Attribution baselines: the memo's peek
+                                # verdict, plus fault-counter watermarks
+                                # so the scalar interlude's actual
+                                # outcome can refine it below.
+                                punt_reason = mmu._memo.peek_reason
+                                f_base = (stats.minor_faults
+                                          + stats.major_faults
+                                          + stats.spurious_faults)
+                                c_base = stats.cow_faults
                             (kind_code, segment, page_off, line, gap,
                              req_id) = records[i]
                             # translate() is the only in-quantum path
@@ -634,6 +745,19 @@ def run_quantum_batch(sim, core_id, proc):
                             tr = translate(proc, segment, page_off,
                                            kinds[kind_code], kind_code == 2,
                                            scratch)
+                            if bstats is not None:
+                                if stats.cow_faults != c_base:
+                                    punt_reason = "cow_retry"
+                                elif (stats.minor_faults
+                                      + stats.major_faults
+                                      + stats.spurious_faults) != f_base:
+                                    punt_reason = "fault"
+                                elif (punt_reason == "epoch"
+                                      and mmu.invals_applied
+                                      != bt.inval_mark):
+                                    punt_reason = "shootdown"
+                                bt.inval_mark = mmu.invals_applied
+                                bstats.punt(punt_reason)
                             e2 = l1i.epoch
                             if e2 != ep_i:
                                 # The pending slot's access predates the
@@ -905,6 +1029,8 @@ def run_quantum_batch(sim, core_id, proc):
                     ni_total += in_prefix[end] - in_prefix[span_start]
                     m_cycles += mem_prefix[end] - mem_prefix[span_start]
                     cycles += cyc_prefix[end] - cyc_prefix[span_start]
+                    if bstats is not None:
+                        bstats.claim(span)
                 bt.pos = end
             # -- quantum-end flush of deferred state --------------------
             # Every path consumes exactly gap+1 instructions per record,

@@ -65,8 +65,11 @@ class SimConfig:
     #: Enable event tracing (:mod:`repro.obs`): ``None`` (default) keeps
     #: every hook a no-op ``is not None`` test; ``True`` traces with
     #: default options; a :class:`repro.obs.TraceOptions` (or its field
-    #: dict) tunes ring size and event families. The measured-phase
-    #: snapshot lands on ``RunResult.obs``.
+    #: dict) tunes ring size, event families, and the streaming ``sink``
+    #: — a ``.jsonl``/``.jsonl.gz``/``.jsonl.zst`` path the ring drains
+    #: to at every wrap (flight-recorder mode: constant memory, no
+    #: drop-oldest; published atomically by ``Tracer.finalize()``). The
+    #: measured-phase snapshot lands on ``RunResult.obs``.
     trace: object = None
     costs: KernelCosts = dataclasses.field(default_factory=KernelCosts)
 

@@ -97,7 +97,7 @@ class TranslationMemo:
     structure's hit counter, and the entry's move-to-end LRU touch.
     """
 
-    __slots__ = ("i", "d", "share_l1", "domain_fn", "limit")
+    __slots__ = ("i", "d", "share_l1", "domain_fn", "limit", "peek_reason")
 
     def __init__(self, share_l1, domain_fn, limit=8192):
         self.i = {}
@@ -105,6 +105,11 @@ class TranslationMemo:
         self.share_l1 = share_l1
         self.domain_fn = domain_fn
         self.limit = limit
+        #: Why the most recent :meth:`peek` returned None — "memo_miss",
+        #: "epoch", "write_verdict", or "mask_bit". Pure diagnostics for
+        #: the batch engine's punt attribution; never read by any
+        #: architectural path.
+        self.peek_reason = None
 
     def probe(self, proc, segment, page_off, instr, is_write, stats):
         """Serve a repeat access, or return None to take the reference
@@ -188,6 +193,7 @@ class TranslationMemo:
         key = (proc.pid, segment, page_off)
         rec = table.get(key)
         if rec is None:
+            self.peek_reason = "memo_miss"
             return None
         (entry, tlb, set_idx, set_epoch, ppn4k, page_size,
          write_ok, write_seeded, mask_domain, pc_mask, pre,
@@ -197,27 +203,34 @@ class TranslationMemo:
             bucket = tlb._buckets[set_idx].get(entry.vpn)
             if (tuple(bucket) if bucket else ()) != hit_snap:
                 del table[key]
+                self.peek_reason = "epoch"
                 return None
             if (entry.writable and not entry.cow) != write_ok:
                 del table[key]
+                self.peek_reason = "epoch"
                 return None
             if self.share_l1 and not entry.o_bit and entry.orpc:
                 if (mask_domain != self.domain_fn(entry)
                         or pc_mask != entry.pc_mask):
                     del table[key]
+                    self.peek_reason = "epoch"
                     return None
             elif mask_domain is not None:
                 del table[key]
+                self.peek_reason = "epoch"
                 return None
             stale = True
         if is_write:
             if not write_ok:
+                self.peek_reason = "write_verdict"
                 return None
         elif write_seeded:
+            self.peek_reason = "write_verdict"
             return None
         if mask_domain is not None:
             bit = proc.pc_bits.get(mask_domain)
             if bit is not None and (pc_mask >> bit) & 1:
+                self.peek_reason = "mask_bit"
                 return None
         for k, (pre_tlb, pre_idx, pre_epoch) in enumerate(pre):
             if pre_tlb._set_epochs[pre_idx] != pre_epoch:
@@ -225,6 +238,7 @@ class TranslationMemo:
                 bucket = pre_tlb._buckets[pre_idx].get(pre_vpn)
                 if (tuple(bucket) if bucket else ()) != pre_snap:
                     del table[key]
+                    self.peek_reason = "epoch"
                     return None
                 stale = True
         if stale:

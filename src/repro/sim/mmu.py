@@ -100,6 +100,11 @@ class MMU:
         self._domain_fn = self._bf_l1d.domain_fn
         self._sanitizer = None
         self._tracer = None
+        #: Monotonic count of kernel-requested invalidations applied to
+        #: this core's TLBs. Diagnostics only (the batch engine's punt
+        #: attribution tells remote-shootdown epoch movement apart from
+        #: local churn by watching it); never part of MMUStats.
+        self.invals_applied = 0
 
     #: Optional translation-coherence sanitizer (shadow MMU); set by
     #: the simulator when ``config.sanitize`` is enabled.
@@ -473,6 +478,7 @@ class MMU:
 
     def apply_invalidation(self, proc, inv):
         """Apply one kernel-requested invalidation to this core's TLBs."""
+        self.invals_applied += 1
         if self.tracer is not None:
             self.tracer.invalidation(self.core_id, proc.pid, inv.vpn,
                                      inv.scope.value)

@@ -53,6 +53,17 @@ class Simulator:
         #: per chunk, punting to the scalar machinery at every
         #: non-steady-state record. Requires the fast structures.
         self._batch = self._fast and batch.batch_active(config)
+        #: Per-cause punt attribution for the batch engine; None unless
+        #: batching is on and REPRO_BATCH_ATTRIBUTION != 0. Sits outside
+        #: MMUStats so it never touches the architectural summary.
+        self.batch_stats = (batch.BatchStats()
+                            if self._batch and batch.attribution_active()
+                            else None)
+        #: Optional :class:`repro.obs.live.ProgressMonitor`; the run loop
+        #: advances it once per quantum (instructions + punt totals).
+        #: Stays None unless a harness attaches one — the hot loop then
+        #: pays a single ``is not None`` test per quantum.
+        self.progress = None
         self.hierarchy = CacheHierarchy(machine, self.dram,
                                         fastpath=self._fast)
         self.sanitizer = (TranslationSanitizer(kernel, config)
@@ -125,6 +136,12 @@ class Simulator:
                     continue
                 progressed = True
                 consumed = self._run_quantum(core_id, proc)
+                if self.progress is not None:
+                    bstats = self.batch_stats
+                    self.progress.advance(
+                        consumed,
+                        punts_total=(bstats.punts
+                                     if bstats is not None else None))
                 if budget is not None:
                     budget -= consumed
                     if budget <= 0:
@@ -203,7 +220,14 @@ class Simulator:
         result.completion_cycles = dict(self._completion)
         result.process_cycles = dict(self._proc_cycles)
         if self.tracer is not None:
+            # With a streaming sink, drain the ring so the staging file
+            # holds the complete stream after every run() (the harness
+            # publishes it with tracer.finalize() when the whole
+            # experiment is done).
+            self.tracer.flush()
             result.obs = self.tracer.snapshot()
+        if self.batch_stats is not None:
+            result.batch = self.batch_stats.snapshot()
         return result
 
     # -- utilities ------------------------------------------------------------------
@@ -226,6 +250,9 @@ class Simulator:
         self._completion = {}
         self._proc_cycles = {}
         self.scheduler.context_switches = 0
+        if self.batch_stats is not None:
+            # Warm-up claims/punts are not part of the measured run.
+            self.batch_stats = batch.BatchStats()
         if self.tracer is not None:
             # Warm-up events must not leak into the measured snapshot.
             self.tracer.reset()

@@ -29,7 +29,9 @@ STOCK_CONFIGS = ("Baseline", "BabelFish", "BabelFish-PT", "BabelFish-TLB",
 def _run(name, cores=1, records=1200, batch_on=True, **overrides):
     config = config_by_name(name, batch=batch_on, **overrides)
     d, _, _ = run_hot(config, cores, records)
-    return d
+    # Identity comparisons are about the architecture: the batch
+    # engine's punt-attribution diagnostics ride outside it.
+    return perf.arch_dict(d)
 
 
 def _run_ref(name, cores=1, records=1200, **overrides):
@@ -46,7 +48,7 @@ def _run_trace(trace, name="BabelFish", batch_on=True, fastpath=True):
     deployment = deploy_app(env, APP_PROFILES["mongodb"])
     for container in deployment.containers:
         env.sim.attach(container.proc, list(trace), container.core)
-    return env.sim.run().as_dict()
+    return perf.arch_dict(env.sim.run().as_dict())
 
 
 # -- gating ---------------------------------------------------------------------
@@ -213,6 +215,11 @@ def test_batch_tier_entry_shape(monkeypatch):
     assert entry["overrides"] == {"batch": True}
     assert entry["speedup"] > 0
     assert entry["fastpath_speedup"] > 0
+    # Punt attribution rides along on batch-tier entries: every record
+    # is either claimed or punted, and every punt has a cause.
+    punts = entry["punts"]
+    assert punts["claimed_records"] + punts["total"] == entry["accesses"]
+    assert sum(punts["causes"].values()) == punts["total"]
 
 
 def test_run_harness_merges_existing_tiers(tmp_path, monkeypatch):
@@ -224,7 +231,7 @@ def test_run_harness_merges_existing_tiers(tmp_path, monkeypatch):
         "tiers": {"medium": {"speedup": 3.21, "identical": True}},
     }))
 
-    def fake_measure(tier, repeats=None):
+    def fake_measure(tier, repeats=None, monitor=None):
         return {"speedup": 1.0, "identical": True,
                 "fast_accesses_per_sec": 1, "reference_accesses_per_sec": 1}
 
@@ -242,7 +249,7 @@ def test_run_harness_tolerates_corrupt_trajectory(tmp_path, monkeypatch):
     out.write_text("{not json")
     monkeypatch.setattr(
         perf, "measure_tier",
-        lambda tier, repeats=None: {
+        lambda tier, repeats=None, monitor=None: {
             "speedup": 1.0, "identical": True,
             "fast_accesses_per_sec": 1, "reference_accesses_per_sec": 1})
     payload = perf.run_harness(smoke=True, out=out, progress=lambda *_: None)

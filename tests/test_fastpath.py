@@ -63,7 +63,10 @@ def test_stock_configs_triangulate_with_batch(name):
     batched = run_app("mongodb", config_by_name(name, batch=True),
                       cores=cores, scale=0.03, use_cache=False)
     assert fast == ref
-    assert batched.result.as_dict() == ref
+    # arch_dict strips the batch engine's punt-attribution diagnostics
+    # (engine telemetry, not architectural state) before the comparison.
+    from repro.experiments.perf import arch_dict
+    assert arch_dict(batched.result.as_dict()) == ref
 
 
 def test_sanitize_mode_bit_identical():

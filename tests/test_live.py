@@ -1,0 +1,521 @@
+"""Streaming telemetry (repro.obs.live + friends): sink/ring
+equivalence, constant-memory streaming, progress monitoring under a
+fake clock, deterministic shard aggregation, per-cause batch punt
+attribution, and the perf-regression watchdog."""
+
+import gzip
+import json
+import queue
+
+import pytest
+
+from repro.experiments.common import (build_environment, config_by_name,
+                                      deploy_app, run_app)
+from repro.experiments import perf
+from repro.kernel.vma import SegmentKind
+from repro.obs import export
+from repro.obs import live
+from repro.obs import perfwatch
+from repro.obs.__main__ import main as obs_main
+from repro.obs.events import event_from_dict, event_to_dict
+from repro.obs.tracer import Tracer, TraceOptions, replay_events
+from repro.sim import batch
+from repro.workloads.profiles import APP_PROFILES, FAAS_BASE_IMAGE
+
+SMALL = dict(cores=1, scale=0.08)
+
+_PID_KEYS = ("pid", "prev_pid", "next_pid")
+
+
+def _dense_pids(event_dicts):
+    """Remap raw pids to first-appearance order. Pids are allocated from
+    a process-global counter, so two in-process runs of the same workload
+    see different raw pids; the dense form is what must match."""
+    mapping, out = {}, []
+    for data in event_dicts:
+        data = dict(data)
+        for key in _PID_KEYS:
+            if key in data:
+                data[key] = mapping.setdefault(data[key], len(mapping))
+        out.append(data)
+    return out
+
+
+# -- streaming sinks: ring equivalence + constant memory ------------------------
+
+
+class TestStreamingSink:
+    def test_stream_equals_ring_on_bounded_run(self, tmp_path):
+        """A tiny ring + sink must reproduce byte-for-byte the events an
+        unbounded ring kept, and replaying the stream must rebuild the
+        exact live registry."""
+        stream = tmp_path / "trace.jsonl"
+        streamed = run_app(
+            "mongodb",
+            config_by_name("BabelFish",
+                           trace={"buffer_size": 64, "sink": str(stream)}),
+            use_cache=False, **SMALL)
+        tracer = streamed.env.sim.tracer
+        assert len(tracer.events) <= 64
+        assert tracer.dropped == 0
+        path = tracer.finalize()
+        assert path == str(stream)
+        assert tracer.streamed == tracer.emitted
+
+        ring = run_app("mongodb", config_by_name("BabelFish", trace=True),
+                       use_cache=False, **SMALL)
+        ring_events = [event_to_dict(e) for e in ring.env.sim.tracer.events]
+        assert (_dense_pids(export.read_jsonl(stream))
+                == _dense_pids(ring_events))
+
+        replayed = replay_events(export.read_jsonl(stream))
+        assert (replayed.registry.snapshot()
+                == tracer.registry.snapshot())
+
+    def test_constant_memory_on_long_run(self, tmp_path):
+        tracer = Tracer(TraceOptions(buffer_size=32,
+                                     sink=str(tmp_path / "long.jsonl")))
+        for i in range(10_000):
+            tracer.tick(0, i)
+            tracer.tlb_hit(0, 7, "L1D", i % 97, False)
+            assert len(tracer.events) <= 32
+        assert tracer.dropped == 0
+        tracer.finalize()
+        assert tracer.streamed == tracer.emitted == 10_000
+        assert len(list(export.read_jsonl(tmp_path / "long.jsonl"))) == 10_000
+
+    def test_gzip_sink_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        tracer = Tracer(TraceOptions(buffer_size=8, sink=str(path)))
+        for i in range(50):
+            tracer.tick(0, i)
+            tracer.tlb_miss(0, 3, "L1D", i, False)
+        tracer.finalize()
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # gzip magic
+        events = list(export.read_jsonl(path))
+        assert len(events) == 50
+        assert replay_events(events).registry.snapshot() \
+            == tracer.registry.snapshot()
+
+    def test_zstd_sink_gated_on_availability(self, tmp_path):
+        path = tmp_path / "trace.jsonl.zst"
+        if not export.zstd_available():
+            with pytest.raises(RuntimeError, match="zstd"):
+                live.open_sink(path)
+            return
+        tracer = Tracer(TraceOptions(buffer_size=8, sink=str(path)))
+        for i in range(20):
+            tracer.tick(0, i)
+            tracer.tlb_hit(0, 1, "L1D", i, True)
+        tracer.finalize()
+        assert len(list(export.read_jsonl(path))) == 20
+
+    def test_finalize_is_atomic_and_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(TraceOptions(buffer_size=4, sink=str(path)))
+        tracer.tick(0, 1)
+        tracer.tlb_hit(0, 1, "L1D", 5, False)
+        # Mid-run, only the staging file exists.
+        assert (tmp_path / "trace.jsonl.tmp").exists()
+        assert not path.exists()
+        assert tracer.finalize() == str(path)
+        assert path.exists()
+        assert not (tmp_path / "trace.jsonl.tmp").exists()
+        # Idempotent; post-finalize emits degrade to the lossy ring.
+        assert tracer.finalize() == str(path)
+        for i in range(10):
+            tracer.tlb_hit(0, 1, "L1D", i, False)
+        assert len(tracer.events) <= 4
+
+    def test_reset_truncates_stream(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(TraceOptions(buffer_size=4, sink=str(path)))
+        for i in range(9):  # forces flushes into the staging file
+            tracer.tick(0, i)
+            tracer.tlb_hit(0, 1, "L1D", i, False)
+        assert tracer.streamed > 0
+        tracer.reset()  # warm-up discard: nothing may survive
+        assert tracer.streamed == 0
+        assert tracer.sink.events_written == 0
+        tracer.tick(0, 0)
+        tracer.tlb_miss(0, 2, "L1D", 11, False)
+        tracer.finalize()
+        events = list(export.read_jsonl(path))
+        assert len(events) == 1
+        assert events[0]["event"] == "TLB_MISS"
+
+    def test_event_dict_round_trip(self):
+        tracer = Tracer()
+        tracer.tick(1, 42)
+        tracer.page_walk(1, 9, 0x1234, 61, False, "ppm")
+        tracer.quantum(1, 9, 0, 500, 100)
+        for event in tracer.events:
+            assert event_from_dict(event_to_dict(event)) == event
+
+
+# -- atomic export writers ------------------------------------------------------
+
+
+class TestAtomicExport:
+    def test_write_jsonl_leaves_no_staging_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.tick(0, 5)
+        tracer.tlb_hit(0, 1, "L1D", 3, False)
+        out = tmp_path / "events.jsonl"
+        assert export.write_jsonl(tracer.events, out) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+        assert list(export.read_jsonl(out))[0]["event"] == "TLB_HIT"
+
+    def test_failed_write_removes_staging_file(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        with pytest.raises(IndexError):
+            export.write_jsonl([(999, 0, 0, 0)], out)  # unknown event type
+        assert not list(tmp_path.glob("*"))
+
+    def test_compressed_jsonl_by_suffix(self, tmp_path):
+        tracer = Tracer()
+        tracer.tick(0, 1)
+        tracer.invalidation(0, 4, 77, "page")
+        out = tmp_path / "events.jsonl.gz"
+        export.write_jsonl(tracer.events, out)
+        with gzip.open(out, "rt") as handle:
+            assert json.loads(handle.readline())["event"] == "INVALIDATION"
+
+
+# -- progress monitor under a fake clock ----------------------------------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressMonitor:
+    def _monitor(self, **kwargs):
+        clock = _FakeClock()
+        lines = []
+        kwargs.setdefault("interval", 1.0)
+        monitor = live.ProgressMonitor(clock=clock, emit=lines.append,
+                                       **kwargs)
+        return monitor, clock, lines
+
+    def test_emits_on_interval_cadence(self):
+        monitor, clock, lines = self._monitor(total=100, unit="recs")
+        clock.now = 0.5
+        monitor.advance(10)
+        assert lines == []  # under the interval: silent
+        clock.now = 1.0
+        monitor.advance(10)
+        assert len(lines) == 1
+        clock.now = 1.5
+        monitor.advance(10)
+        assert len(lines) == 1  # window restarts at each emitted line
+        clock.now = 2.5
+        monitor.advance(10)
+        assert len(lines) == 2
+
+    def test_rates_and_eta(self):
+        monitor, clock, _ = self._monitor(total=100)
+        clock.now = 2.0
+        monitor.advance(50)
+        assert monitor.rate() == 25.0
+        assert monitor.eta_seconds() == pytest.approx(2.0)
+        clock.now = 4.0
+        monitor.advance(50)
+        assert monitor.eta_seconds() == 0.0
+
+    def test_punt_totals_and_deltas(self):
+        monitor, clock, _ = self._monitor()
+        monitor.advance(5, punts=3)
+        monitor.advance(5, punts_total=10)  # absolute wins
+        assert monitor.punts == 10
+        clock.now = 2.0
+        assert monitor.punt_rate() == 5.0
+
+    def test_advance_to_is_monotonic(self):
+        monitor, _, _ = self._monitor()
+        monitor.advance_to(40)
+        monitor.advance_to(25)  # stale shard totals never move it back
+        assert monitor.done == 40
+
+    def test_snapshot_line_and_finish(self):
+        monitor, clock, lines = self._monitor(total=200, unit="runs",
+                                              label="matrix")
+        clock.now = 2.0
+        monitor.advance(100, punts_total=7)
+        monitor.count("kills", 3)
+        line = monitor.snapshot_line()
+        assert "[matrix]" in line and "100/200 runs (50.0%)" in line
+        assert "punts 7" in line and "kills 3" in line and "eta" in line
+        final = monitor.finish()
+        assert "done" in final and final in lines
+        data = monitor.as_dict()
+        assert data["done"] == 100 and data["punts"] == 7
+        assert data["counters"] == {"kills": 3}
+
+
+# -- shard aggregation ----------------------------------------------------------
+
+
+class TestShardAggregation:
+    PAYLOADS = [("shard-b", {"done": 2, "punts": 5}),
+                ("shard-a", {"done": 1}),
+                ("shard-b", {"done": 3, "kills": 1}),
+                ("shard-c", {"done": 4, "punts": 2})]
+
+    def test_merge_is_delivery_order_independent(self):
+        forward, backward = live.ProgressAggregator(), live.ProgressAggregator()
+        for shard, payload in self.PAYLOADS:
+            forward.apply(shard, payload)
+        for shard, payload in reversed(self.PAYLOADS):
+            backward.apply(shard, payload)
+        assert forward.merged() == backward.merged() == {
+            "done": 10, "punts": 7, "kills": 1}
+
+    def test_queue_drain_and_feed(self):
+        q = queue.Queue()
+        live.bind_worker_queue(q)
+        try:
+            for shard, payload in self.PAYLOADS:
+                live.post_shard(shard, **payload)
+        finally:
+            live.bind_worker_queue(None)
+        live.post_shard("unbound", done=99)  # no queue: silently dropped
+        aggregator = live.ProgressAggregator()
+        assert aggregator.drain(q) == len(self.PAYLOADS)
+        monitor = live.ProgressMonitor(clock=lambda: 1.0, emit=lambda _: None)
+        aggregator.feed(monitor)
+        assert monitor.done == 10
+        assert monitor.punts == 7
+        assert monitor.counters["kills"] == 1
+
+
+# -- batch punt attribution -----------------------------------------------------
+
+
+def _batch_run(trace):
+    """One explicit trace through the batch engine; returns
+    ``(as_dict, total measured records)``."""
+    config = config_by_name("BabelFish", batch=True)
+    env = build_environment(config, cores=1)
+    deployment = deploy_app(env, APP_PROFILES["mongodb"])
+    for container in deployment.containers:
+        env.sim.attach(container.proc, list(trace), container.core)
+    d = env.sim.run().as_dict()
+    return d, len(trace) * len(deployment.containers)
+
+
+def _check_attribution_invariants(d, total):
+    diag = d["batch"]
+    assert diag["claimed_records"] + diag["punts"] == total
+    assert sum(diag["punt_causes"].values()) == diag["punts"]
+    assert set(diag["punt_causes"]) <= set(batch.PUNT_CAUSES)
+    return diag["punt_causes"]
+
+
+class TestPuntAttribution:
+    def test_hot_code_punts_are_memo_misses(self):
+        trace = [(0, SegmentKind.CODE, i % 4, i % 64, 2, None)
+                 for i in range(300)]
+        d, total = _batch_run(trace)
+        causes = _check_attribution_invariants(d, total)
+        assert causes.get("memo_miss", 0) > 0
+
+    def test_bringup_attributes_faults_and_cow_retries(self):
+        # A cold container bring-up is all first touches: minor faults on
+        # stack/data pages and CoW-type private copies of library pages.
+        # Every record punts with a specific cause — none may be claimed,
+        # and none may fall back to the generic memo_miss bucket alone.
+        config = config_by_name("BabelFish", batch=True)
+        env = build_environment(config, cores=1)
+        container, _ = env.engine.launch(FAAS_BASE_IMAGE)
+        records = env.engine.bringup_records(container)
+        env.sim.attach(container.proc, records, 0)
+        d = env.sim.run().as_dict()
+        causes = _check_attribution_invariants(d, len(records))
+        assert causes.get("fault", 0) > 0
+        assert causes.get("cow_retry", 0) > 0
+
+    def test_first_touch_stores_attribute_to_fault(self):
+        # Post-bring-up heap pages are unmaterialized: each first store
+        # takes a minor fault, so the punt cause must be "fault" — not
+        # memo_miss (the memo was warm for none of them anyway, but the
+        # fault-delta refinement must win).
+        config = config_by_name("BabelFish", batch=True)
+        env = build_environment(config, cores=1)
+        container, _ = env.engine.launch(FAAS_BASE_IMAGE)
+        env.sim.attach(container.proc,
+                       env.engine.bringup_records(container), 0)
+        env.sim.run()
+        env.sim.reset_measurement()
+        trace = [(2, SegmentKind.HEAP, i, 0, 2, None) for i in range(16)]
+        env.sim.attach(container.proc, trace, 0)
+        d = env.sim.run().as_dict()
+        causes = _check_attribution_invariants(d, len(trace))
+        assert causes.get("fault", 0) == len(trace)
+
+    def test_replacement_churn_and_cow_breaks_attribute_shootdowns(self):
+        # The two epoch-family causes, in one co-scheduled scenario:
+        # two deployed containers hammer a hot set wider than the L2 TLB
+        # (replacement churn moves set epochs under live memo entries ->
+        # "epoch"), while a third process CoW-breaks present read-shared
+        # pages (read first, installing CoW PTEs; the mid-run writes
+        # broadcast invalidations, upgrading epoch punts that straddle
+        # them to "shootdown").
+        import random
+
+        config = config_by_name("BabelFish", batch=True,
+                                quantum_instructions=400)
+        env = build_environment(config, cores=1)
+        deployment = deploy_app(env, APP_PROFILES["mongodb"])
+        writer, _ = env.engine.launch(FAAS_BASE_IMAGE)
+        records = env.engine.bringup_records(writer)
+        cow_pages = sorted({r[2] for r in records
+                            if r[1] == SegmentKind.LIBS and r[0] == 2})
+        assert cow_pages, "image has no writable private library pages"
+        env.sim.attach(writer.proc,
+                       [(1, SegmentKind.LIBS, p, 0, 2, None)
+                        for p in cow_pages], 0)
+        env.sim.run()
+        env.sim.reset_measurement()
+        rng = random.Random(7)
+        total = 0
+        for container in deployment.containers[:2]:
+            trace = [(0, SegmentKind.HEAP, rng.randrange(120),
+                      rng.randrange(64), 2, None) for _ in range(4000)]
+            env.sim.attach(container.proc, trace, container.core)
+            total += len(trace)
+        wtrace = [(2, SegmentKind.LIBS, page, 1, 900, None)
+                  for page in cow_pages]
+        env.sim.attach(writer.proc, wtrace, 0)
+        total += len(wtrace)
+        d = env.sim.run().as_dict()
+        causes = _check_attribution_invariants(d, total)
+        assert causes.get("epoch", 0) > 0
+        assert causes.get("shootdown", 0) > 0
+        assert causes.get("cow_retry", 0) > 0
+
+    def test_escape_hatch_disables_attribution(self, monkeypatch):
+        monkeypatch.setenv(batch.BATCH_ATTR_ENV, "0")
+        trace = [(0, SegmentKind.CODE, i % 4, 0, 2, None) for i in range(60)]
+        d, _total = _batch_run(trace)
+        assert "batch" not in d
+
+    def test_diagnostics_never_taint_identity(self):
+        trace = [(0, SegmentKind.CODE, i % 4, i % 64, 2, None)
+                 for i in range(120)]
+        d, _total = _batch_run(trace)
+        assert "batch" in d
+        assert "batch" not in perf.arch_dict(d)
+
+
+# -- perf-regression watchdog ---------------------------------------------------
+
+
+def _payload(**tiers):
+    return {"bench": "hotpath", "tiers": tiers}
+
+
+class TestPerfwatch:
+    def test_regression_below_floor(self):
+        baseline = _payload(batch={"speedup": 2.0, "identical": True})
+        fresh = _payload(batch={"speedup": 1.0, "identical": True})
+        rows, regressions = perfwatch.compare(fresh, baseline)
+        assert len(regressions) == 1
+        assert regressions[0]["metric"] == "speedup"
+        assert regressions[0]["floor"] == pytest.approx(1.6)
+
+    def test_within_band_is_ok_and_above_is_improved(self):
+        baseline = _payload(batch={"speedup": 2.0, "identical": True})
+        ok = _payload(batch={"speedup": 1.9, "identical": True})
+        up = _payload(batch={"speedup": 3.1, "identical": True})
+        assert perfwatch.compare(ok, baseline)[1] == []
+        rows, regressions = perfwatch.compare(up, baseline)
+        assert regressions == []
+        assert rows[0]["status"] == "improved"
+
+    def test_identity_failure_is_unconditional(self):
+        baseline = _payload(smoke={"speedup": 1.0, "identical": True})
+        fresh = _payload(smoke={"speedup": 5.0, "identical": False})
+        _rows, regressions = perfwatch.compare(fresh, baseline)
+        assert any(r["metric"] == "identical" for r in regressions)
+
+    def test_new_and_skipped_tiers_never_fail(self):
+        baseline = _payload(medium={"speedup": 3.0, "identical": True})
+        fresh = _payload(smoke={"speedup": 1.0, "identical": True})
+        rows, regressions = perfwatch.compare(fresh, baseline)
+        assert regressions == []
+        assert {r["status"] for r in rows} == {"new", "skipped"}
+
+    def test_tolerance_overrides(self):
+        baseline = _payload(batch={"speedup": 2.0, "identical": True})
+        fresh = _payload(batch={"speedup": 1.5, "identical": True})
+        assert perfwatch.compare(fresh, baseline,
+                                 tolerances={"batch": 0.5})[1] == []
+        assert len(perfwatch.compare(fresh, baseline,
+                                     tolerances={"batch": 0.1})[1]) == 1
+
+    def test_watch_cli_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(_payload(
+            smoke={"speedup": 2.0, "identical": True},
+            batch={"speedup": 4.0, "fastpath_speedup": 2.0,
+                   "identical": True})))
+        # Synthetically degraded batch tier: must exit nonzero.
+        fresh.write_text(json.dumps(_payload(
+            smoke={"speedup": 2.0, "identical": True},
+            batch={"speedup": 1.0, "fastpath_speedup": 2.0,
+                   "identical": True})))
+        rc = obs_main(["perfwatch", str(fresh), "--baseline", str(base)])
+        assert rc == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+        # A wide-enough band clears it.
+        rc = obs_main(["perfwatch", str(fresh), "--baseline", str(base),
+                       "--tolerance", "batch=0.8"])
+        assert rc == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_watch_rejects_bad_inputs(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(SystemExit):
+            perfwatch.load_trajectory(str(missing))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit):
+            perfwatch.load_trajectory(str(bad))
+        with pytest.raises(SystemExit):
+            obs_main(["perfwatch", str(bad), "--baseline", str(bad)])
+
+
+# -- CLI: compressed event streams ----------------------------------------------
+
+
+class TestCompressedStreamsCLI:
+    @pytest.fixture(scope="class")
+    def gz_stream(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("stream") / "trace.jsonl.gz"
+        tracer = Tracer(TraceOptions(buffer_size=16, sink=str(path)))
+        for i in range(120):
+            tracer.tick(0, i)
+            if i % 3:
+                tracer.tlb_hit(0, 2, "L1D", i % 9, False)
+            else:
+                tracer.tlb_miss(0, 2, "L1D", i % 9, False)
+        tracer.finalize()
+        return path, tracer.registry.snapshot()
+
+    def test_summarize_reads_gz_stream(self, gz_stream, capsys):
+        path, _snapshot = gz_stream
+        assert obs_main(["summarize", str(path)]) == 0
+        assert "TLB" in capsys.readouterr().out
+
+    def test_diff_gz_stream_against_itself_is_flat(self, gz_stream, capsys):
+        path, _snapshot = gz_stream
+        assert obs_main(["diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no differences" in out or "+0" not in out
