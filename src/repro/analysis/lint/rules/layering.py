@@ -26,6 +26,9 @@ ALLOWED_IMPORTS = {
     "sim": frozenset({"hw", "kernel", "core", "analysis", "obs"}),
     "workloads": frozenset({"kernel", "core", "containers"}),
     "containers": frozenset({"hw", "kernel", "core"}),
+    #: The serving daemon sits above the experiment runner: it may drive
+    #: runs and read progress/stats, but never reach below ``sim/``.
+    "serve": frozenset({"experiments", "obs", "sim", "workloads"}),
 }
 
 

@@ -6,9 +6,25 @@ tables. This matches the paper's conservative security domain (Section V):
 a single user's containers running a single application.
 """
 
+import hashlib
 import itertools
 
 CCID_BITS = 12
+
+
+def stable_group_seed(seed, user, application):
+    """Deterministic 32-bit ASLR seed for a CCID group.
+
+    Must not use ``hash()``: string hashing is randomized per process
+    (``PYTHONHASHSEED``), which would make a group's layout — and hence
+    page-walk and TLB-miss counts — differ between processes. Every
+    cross-process bit-identity guarantee (the disk run cache, ``--jobs
+    N`` parallel sweeps, the serving daemon's pool workers) depends on
+    this derivation being a pure function of its arguments.
+    """
+    blob = "\x00".join(str(part) for part in (seed, user, application))
+    return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:4],
+                          "big")
 
 
 class CCIDGroup:
@@ -53,7 +69,8 @@ class CCIDRegistry:
             if ccid >= (1 << CCID_BITS):
                 raise ValueError("out of CCIDs")
             group = CCIDGroup(ccid, user, application,
-                              aslr_seed=hash((self._seed, user, application)) & 0xFFFFFFFF)
+                              aslr_seed=stable_group_seed(
+                                  self._seed, user, application))
             self._groups[key] = group
             self._by_ccid[ccid] = group
         return group

@@ -319,8 +319,13 @@ def remember_app_run(run, cores, scale, containers_per_core=None):
 
 
 def run_app(app_name, config, cores=8, scale=1.0, containers_per_core=None,
-            use_cache=True):
-    """Deploy + warm + measure one application under one configuration."""
+            use_cache=True, monitor=None):
+    """Deploy + warm + measure one application under one configuration.
+
+    ``monitor`` (a :class:`repro.obs.live.ProgressMonitor`) is attached
+    to the simulator's per-quantum progress hook for the duration of the
+    run; cache hits never advance it (nothing simulates).
+    """
     key = ("app", app_name, config_cache_key(config), cores, scale,
            containers_per_core)
     if use_cache and key in _RUN_CACHE:
@@ -337,6 +342,8 @@ def run_app(app_name, config, cores=8, scale=1.0, containers_per_core=None,
     _count_simulation()
     profile = APP_PROFILES[app_name]
     env = build_environment(config, cores=cores)
+    if monitor is not None:
+        env.sim.progress = monitor
     deployment = deploy_app(env, profile, containers_per_core)
     result = measure_app(env, deployment, scale=scale)
     run = AppRun(app_name, config, env, deployment, result)
@@ -397,11 +404,14 @@ def remember_functions_run(run, cores, scale):
     return run
 
 
-def run_functions(config, dense=True, cores=8, scale=1.0, use_cache=True):
+def run_functions(config, dense=True, cores=8, scale=1.0, use_cache=True,
+                  monitor=None):
     """The FaaS experiment: 3 function containers per core (Section VI).
 
     Two waves per core: the leading wave takes the cold-start costs the
     paper excludes; the second wave is measured (bring-up and execution).
+    ``monitor`` rides the simulator's per-quantum hook as in
+    :func:`run_app`.
     """
     key = ("functions", config_cache_key(config), dense, cores, scale)
     if use_cache and key in _RUN_CACHE:
@@ -416,6 +426,8 @@ def run_functions(config, dense=True, cores=8, scale=1.0, use_cache=True):
             return run
     _count_simulation()
     env = build_environment(config, cores=cores)
+    if monitor is not None:
+        env.sim.progress = monitor
     platform = FaaSPlatform(env.engine, FAAS_BASE_IMAGE)
     sim = env.sim
     passes = max(1, int(FUNCTION_PROFILES["parse"].passes * scale))

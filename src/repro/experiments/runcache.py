@@ -26,6 +26,7 @@ expose a torn entry.  Clear it with ``python -m repro.experiments cache
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pathlib
@@ -215,11 +216,29 @@ class CachedKernel:
 # -- the disk store -----------------------------------------------------------------
 
 
+#: Per-process staging-file counter: combined with the pid it makes
+#: every in-flight ``.tmp`` name unique, so concurrent same-key writers
+#: (pool workers, daemon threads) never truncate each other's staging
+#: file mid-write. ``count().__next__`` is atomic under the GIL.
+_TMP_IDS = itertools.count()
+
+
 class DiskRunCache:
     """Content-addressed JSON store for run summaries.
 
     ``fingerprint`` defaults to :func:`code_fingerprint`; tests inject a
     fixed value to exercise invalidation without editing sources.
+
+    **Concurrency contract (the tmp-rename invariant).** Writers stage
+    the full entry in a private ``<hash>.tmp.<pid>.<n>`` file and
+    publish it with one atomic ``os.replace``; readers only ever open
+    the final ``<hash>.json`` path, so a reader racing any number of
+    same-key writers sees either no entry or one complete entry — never
+    a partial one. Concurrent writers of the same key are last-writer-
+    wins (both wrote byte-identical payloads for a pure run anyway). A
+    final-path entry that *does* fail to parse (torn by a crash mid-
+    ``os.replace`` on a non-atomic filesystem, or external corruption)
+    is treated as a miss, never an error.
     """
 
     def __init__(self, root=None, fingerprint=None):
@@ -237,7 +256,11 @@ class DiskRunCache:
 
     def load(self, key_data):
         """The stored payload for ``key_data``, or None on a miss (also on
-        a torn/corrupt entry, which is then treated as absent)."""
+        a torn/corrupt entry, which is then treated as absent).
+
+        Reads only the final path — in-flight ``.tmp.*`` staging files
+        from concurrent writers are invisible by construction.
+        """
         try:
             text = self._path(key_data).read_text()
         except OSError:
@@ -256,7 +279,8 @@ class DiskRunCache:
         path = self._path(key_data)
         entry = {"key": key_data, "code": self.fingerprint,
                  "payload": payload}
-        tmp = path.with_name("%s.tmp.%d" % (path.stem, os.getpid()))
+        tmp = path.with_name("%s.tmp.%d.%d"
+                             % (path.stem, os.getpid(), next(_TMP_IDS)))
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
         return path

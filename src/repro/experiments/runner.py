@@ -127,6 +127,21 @@ def report_matrix(cores=8, scale=1.0):
 # -- execution ----------------------------------------------------------------------
 
 
+def request_key_data(request, config=None):
+    """The disk-cache key data for ``request`` (what
+    :class:`~repro.experiments.runcache.DiskRunCache` hashes).
+
+    The serving daemon builds this to answer repeat requests straight
+    from the store without touching the worker pool.
+    """
+    config = request.config() if config is None else config
+    if request.kind == "functions":
+        return runcache.functions_key_data(config, request.dense,
+                                           request.cores, request.scale)
+    return runcache.app_key_data(request.app, config, request.cores,
+                                 request.scale, request.containers_per_core)
+
+
 def _cached_run(request):
     """Memory- or disk-cached run for ``request``, or None."""
     config = request.config()
@@ -142,32 +157,45 @@ def _cached_run(request):
     cache = common.disk_cache()
     if cache is None:
         return None
+    payload = cache.load(request_key_data(request, config))
+    if payload is None:
+        return None
     if request.kind == "functions":
-        payload = cache.load(runcache.functions_key_data(
-            config, request.dense, request.cores, request.scale))
-        if payload is None:
-            return None
         return common.remember_functions_run(
             common.rehydrate_functions_run(payload), request.cores,
             request.scale)
-    payload = cache.load(runcache.app_key_data(
-        request.app, config, request.cores, request.scale,
-        request.containers_per_core))
-    if payload is None:
-        return None
     return common.remember_app_run(
         common.rehydrate_app_run(payload), request.cores, request.scale,
         request.containers_per_core)
 
 
-def run_request(request):
-    """Execute one request in this process (through both cache layers)."""
+def run_request(request, monitor=None, use_cache=True):
+    """Execute one request in this process (through both cache layers).
+
+    ``monitor`` (a :class:`repro.obs.live.ProgressMonitor`) rides the
+    simulator's per-quantum hook for the measured phases — the serving
+    daemon's pool workers stream its snapshots back to clients mid-run.
+    ``use_cache=False`` forces a fresh simulation (the loadgen's warm-
+    class requests, which must exercise the simulator, not the caches).
+    """
     if request.kind == "functions":
         return common.run_functions(request.config(), dense=request.dense,
-                                    cores=request.cores, scale=request.scale)
+                                    cores=request.cores, scale=request.scale,
+                                    monitor=monitor, use_cache=use_cache)
     return common.run_app(request.app, request.config(), cores=request.cores,
                           scale=request.scale,
-                          containers_per_core=request.containers_per_core)
+                          containers_per_core=request.containers_per_core,
+                          monitor=monitor, use_cache=use_cache)
+
+
+def request_summary(request, run):
+    """The picklable summary artifacts of a finished request (the shape
+    pool workers ship to the parent and the daemon serves to clients)."""
+    if request.kind == "functions":
+        return common.summarize_functions_run(run, request.cores,
+                                              request.scale)
+    return common.summarize_app_run(run, request.cores, request.scale,
+                                    request.containers_per_core)
 
 
 def _init_worker(cache_root, fingerprint, progress_queue=None):
@@ -186,11 +214,7 @@ def _worker_execute(request):
     """Run a request in a worker and return its picklable summary."""
     run = run_request(request)
     live.post_shard(request.label(), done=1)
-    if request.kind == "functions":
-        return common.summarize_functions_run(run, request.cores,
-                                              request.scale)
-    return common.summarize_app_run(run, request.cores, request.scale,
-                                    request.containers_per_core)
+    return request_summary(request, run)
 
 
 def _install_summary(request, summary):

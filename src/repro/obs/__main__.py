@@ -103,12 +103,20 @@ def main(argv=None):
     watch_parser = sub.add_parser(
         "perfwatch", help="fail when a fresh perf trajectory regresses "
         "against the committed one")
-    watch_parser.add_argument("fresh", help="freshly measured "
-                              "BENCH_hotpath.json")
+    watch_parser.add_argument("fresh", nargs="?", default=None,
+                              help="freshly measured trajectory file "
+                              "(e.g. BENCH_hotpath.json)")
+    watch_parser.add_argument("--bench", default=None, metavar="PATH",
+                              help="alternative spelling of the fresh "
+                              "trajectory file (e.g. BENCH_serve.json)")
     watch_parser.add_argument("--baseline", default=None,
                               help="committed trajectory to compare "
-                              "against (default: the repo's "
-                              "BENCH_hotpath.json)")
+                              "against (default: the repo-root file "
+                              "with the same basename as the fresh one)")
+    watch_parser.add_argument("--ratio", action="append", default=[],
+                              metavar="METRIC",
+                              help="watched ratio to gate (repeatable; "
+                              "default: speedup fastpath_speedup)")
     watch_parser.add_argument("--tolerance", action="append", default=[],
                               type=_parse_tolerance, metavar="TIER=FRAC",
                               help="per-tier regression band, e.g. "
@@ -128,10 +136,15 @@ def main(argv=None):
         return 0
 
     if args.command == "perfwatch":
+        fresh = args.bench or args.fresh
+        if fresh is None:
+            watch_parser.error("a fresh trajectory is required "
+                               "(positional FRESH or --bench PATH)")
         return perfwatch.watch(
-            args.fresh, baseline_path=args.baseline,
+            fresh, baseline_path=args.baseline,
             tolerances=dict(args.tolerance),
-            default_tolerance=args.default_tolerance)
+            default_tolerance=args.default_tolerance,
+            watched=args.ratio or None)
 
     rows = diff(load_snapshot(args.run_a), load_snapshot(args.run_b))
     print(format_diff(rows, only_changed=not args.all))

@@ -1,15 +1,21 @@
-"""Perf-regression watchdog over BENCH_hotpath.json trajectories.
+"""Perf-regression watchdog over benchmark trajectory files.
 
 ``python -m repro.obs perfwatch FRESH [--baseline COMMITTED]`` compares
 a freshly measured trajectory against the committed one tier by tier
 and exits nonzero when any watched metric falls below its per-tier
-tolerance floor. The watched metrics are the machine-normalized speedup
-*ratios* (batch/reference and fastpath/reference) — ratios transfer
-across machines far better than absolute access rates, which is what
-makes a CI runner's fresh measurement comparable to a trajectory
-recorded on a dev box at all. Tolerances are therefore per-tier: the
-tiny smoke tier is noise-dominated and gets a wide band, the medium and
-batch tiers are long enough to hold a tighter one.
+tolerance floor. The default watched metrics are the machine-normalized
+speedup *ratios* (batch/reference and fastpath/reference) — ratios
+transfer across machines far better than absolute access rates, which
+is what makes a CI runner's fresh measurement comparable to a
+trajectory recorded on a dev box at all. Tolerances are therefore
+per-tier: the tiny smoke tier is noise-dominated and gets a wide band,
+the medium and batch tiers are long enough to hold a tighter one.
+
+The watchdog is not married to BENCH_hotpath.json: any file with a
+``tiers`` table works, and the watched-ratio list is configurable per
+invocation — ``python -m repro.obs perfwatch --bench BENCH_serve.json
+--ratio warm_speedup`` gates the serving daemon's amortization
+trajectory on its own ratio.
 
 A tier present in only one file is reported (``new`` / ``skipped``) but
 never fails the watch — the smoke harness does not run the medium tier,
@@ -26,16 +32,15 @@ import os
 DEFAULT_TOLERANCES = {"smoke": 0.35, "medium": 0.15, "batch": 0.20}
 DEFAULT_TOLERANCE = 0.15
 
-#: Tier-entry keys watched for regressions (higher is better).
+#: Default tier-entry keys watched for regressions (higher is better).
 WATCHED = ("speedup", "fastpath_speedup")
 
 
-def repo_baseline_path():
-    """The committed BENCH_hotpath.json at the repository root (resolved
-    relative to this file, so it works from any CWD)."""
+def repo_baseline_path(name="BENCH_hotpath.json"):
+    """The committed trajectory ``name`` at the repository root
+    (resolved relative to this file, so it works from any CWD)."""
     here = os.path.dirname(os.path.abspath(__file__))
-    return os.path.abspath(
-        os.path.join(here, "..", "..", "..", "BENCH_hotpath.json"))
+    return os.path.abspath(os.path.join(here, "..", "..", "..", name))
 
 
 def load_trajectory(path):
@@ -52,12 +57,15 @@ def load_trajectory(path):
     return data
 
 
-def compare(fresh, baseline, tolerances=None, default_tolerance=None):
+def compare(fresh, baseline, tolerances=None, default_tolerance=None,
+            watched=None):
     """Diff two trajectory payloads; returns ``(rows, regressions)``.
 
     Each row is a dict with tier/metric/baseline/fresh/floor/status;
     ``regressions`` is the subset that should fail the watch.
+    ``watched`` overrides the ratio list (default :data:`WATCHED`).
     """
+    watched = tuple(watched) if watched else WATCHED
     tol = dict(DEFAULT_TOLERANCES)
     tol.update(tolerances or {})
     fallback = (DEFAULT_TOLERANCE if default_tolerance is None
@@ -78,7 +86,7 @@ def compare(fresh, baseline, tolerances=None, default_tolerance=None):
                          "fresh": None, "floor": None, "status": "new"})
             continue
         band = tol.get(tier, fallback)
-        for metric in WATCHED:
+        for metric in watched:
             if metric not in entry or metric not in base:
                 continue
             floor = base[metric] * (1.0 - band)
@@ -127,14 +135,19 @@ def _fmt(value):
 
 
 def watch(fresh_path, baseline_path=None, tolerances=None,
-          default_tolerance=None):
+          default_tolerance=None, watched=None):
     """Load, compare, print the report; returns the process exit code
-    (0 clean, 1 regression)."""
-    baseline_path = baseline_path or repo_baseline_path()
+    (0 clean, 1 regression). ``watched`` overrides the gated ratio
+    list; the default baseline is the committed repo-root file with the
+    same basename as ``fresh_path``."""
+    if baseline_path is None:
+        baseline_path = repo_baseline_path(
+            os.path.basename(fresh_path) or "BENCH_hotpath.json")
     fresh = load_trajectory(fresh_path)
     baseline = load_trajectory(baseline_path)
     rows, regressions = compare(fresh, baseline, tolerances=tolerances,
-                                default_tolerance=default_tolerance)
+                                default_tolerance=default_tolerance,
+                                watched=watched)
     print("perfwatch: %s vs baseline %s" % (fresh_path, baseline_path))
     print(format_report(rows, regressions))
     return 1 if regressions else 0

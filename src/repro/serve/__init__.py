@@ -1,0 +1,23 @@
+"""Simulation-as-a-service: a warm-pool async daemon over the runner.
+
+The reproduction's serving front door (``python -m repro.serve``): a
+long-lived asyncio daemon that accepts JSON simulation requests over a
+unix socket or TCP port, answers repeat requests straight from the
+persistent run cache, multiplexes everything else onto a pool of
+pre-warmed worker processes (workers pre-import ``repro``, pre-compile
+the stock workload traces, and recycle between requests), and streams
+live progress snapshots back to clients mid-run.
+
+Modules:
+
+- :mod:`repro.serve.protocol` — length-prefixed JSON framing and the
+  wire <-> :class:`~repro.experiments.runner.RunRequest` mapping.
+- :mod:`repro.serve.worker` — the pool worker process: prewarm, then a
+  recv/run/reply loop over a pipe.
+- :mod:`repro.serve.pool` — the warm pool: spawn, health, crash
+  retirement, background refill, drain.
+- :mod:`repro.serve.daemon` — the asyncio server: two-class priority
+  scheduling, the cache-hit fast path, crash retry, SIGTERM drain.
+- :mod:`repro.serve.loadgen` — open-loop Poisson load generator and the
+  ``BENCH_serve.json`` SLO trajectory.
+"""

@@ -1,0 +1,251 @@
+"""The warm worker pool: spawn, recycle, retire, refill.
+
+Workers are spawned with the ``spawn`` start method — each is a fresh
+interpreter that pays full bring-up (imports + prewarm) exactly once,
+which is precisely the cost the pool exists to amortize; ``fork`` would
+make the measurement a lie by inheriting the daemon's warm state. The
+pool front half is asyncio-native: blocking pipe operations run on the
+event loop's default thread-pool executor, so one slow worker never
+stalls the daemon's accept loop or the other workers' replies.
+
+Crash handling: any pipe failure while talking to a worker raises
+:class:`WorkerCrash`; the daemon retires the handle (the pool spawns a
+replacement in the background) and retries the request once on a fresh
+worker. A request whose *own* execution raised inside a healthy worker
+is a :class:`WorkerError` instead — those are never retried, the error
+travels back to the client.
+"""
+
+import asyncio
+import multiprocessing
+
+from repro.serve import worker as worker_mod
+
+
+class WorkerCrash(Exception):
+    """The worker process died (pipe broke) while we were using it."""
+
+
+class WorkerError(Exception):
+    """The request failed inside a healthy worker; carries the typed
+    error body the worker shipped back."""
+
+    def __init__(self, body):
+        super().__init__(body.get("message", "request failed in worker"))
+        self.body = body
+
+
+class WorkerHandle:
+    """One live worker process and its parent-side pipe end."""
+
+    def __init__(self, process, conn, ready_info):
+        self.process = process
+        self.conn = conn
+        self.ready_info = ready_info
+        self.pid = process.pid
+        self.busy = False
+        self.served = 0
+        self.retired = False
+
+    def alive(self):
+        return not self.retired and self.process.is_alive()
+
+
+class WarmPool:
+    """A fixed-size pool of pre-warmed simulator workers.
+
+    ``await start()`` spawns every worker concurrently and returns when
+    all have prewarmed and reported ready. ``acquire``/``release`` hand
+    out idle workers FIFO; ``retire`` removes a crashed worker and
+    kicks off a background refill so the pool heals back to ``size``
+    without blocking the retiring request's retry.
+    """
+
+    def __init__(self, size, cache_root=None, fingerprint=None, warm=True,
+                 start_method="spawn"):
+        if size < 1:
+            raise ValueError("pool size must be >= 1, got %d" % size)
+        self.size = size
+        self.cache_root = str(cache_root) if cache_root is not None else None
+        self.fingerprint = fingerprint
+        self.warm = warm
+        self._ctx = multiprocessing.get_context(start_method)
+        self._idle = None  # asyncio.Queue, created on start()
+        self._workers = []
+        self._refills = set()
+        self.crashes = 0
+        self.spawned = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_blocking(self):
+        """Spawn one worker and block until its ``ready`` message (runs
+        on an executor thread, never on the event loop)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_mod.worker_main,
+            args=(child_conn, self.cache_root, self.fingerprint, self.warm),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        kind, info = parent_conn.recv()
+        if kind != "ready":
+            raise RuntimeError("worker %s sent %r before ready"
+                               % (process.pid, kind))
+        return WorkerHandle(process, parent_conn, info)
+
+    async def start(self):
+        """Spawn the full pool concurrently; returns the ready infos."""
+        loop = asyncio.get_running_loop()
+        self._idle = asyncio.Queue()
+        handles = await asyncio.gather(
+            *[loop.run_in_executor(None, self._spawn_blocking)
+              for _ in range(self.size)])
+        for handle in handles:
+            self._workers.append(handle)
+            self._idle.put_nowait(handle)
+        self.spawned += len(handles)
+        return [handle.ready_info for handle in handles]
+
+    async def acquire(self):
+        """The next idle worker (FIFO). Skips handles that died while
+        idle — they are retired and refilled like any other crash."""
+        while True:
+            handle = await self._idle.get()
+            if handle.alive():
+                handle.busy = True
+                return handle
+            await self.retire(handle)
+
+    def release(self, handle):
+        handle.busy = False
+        if handle.alive():
+            self._idle.put_nowait(handle)
+
+    async def retire(self, handle):
+        """Remove a crashed/dead worker and refill in the background."""
+        if handle.retired:
+            return
+        handle.retired = True
+        self.crashes += 1
+        if handle in self._workers:
+            self._workers.remove(handle)
+        loop = asyncio.get_running_loop()
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        await loop.run_in_executor(None, _reap, handle.process)
+        task = asyncio.ensure_future(self._refill())
+        self._refills.add(task)
+        task.add_done_callback(self._refills.discard)
+
+    async def _refill(self):
+        loop = asyncio.get_running_loop()
+        handle = await loop.run_in_executor(None, self._spawn_blocking)
+        self._workers.append(handle)
+        self._idle.put_nowait(handle)
+        self.spawned += 1
+
+    async def drain(self):
+        """Wait for pending background refills (so shutdown reaps every
+        process the pool ever spawned)."""
+        if self._refills:
+            await asyncio.gather(*list(self._refills),
+                                 return_exceptions=True)
+
+    async def shutdown(self):
+        """Politely stop every worker, then reap the processes."""
+        await self.drain()
+        loop = asyncio.get_running_loop()
+        workers = list(self._workers)
+        self._workers = []
+        for handle in workers:
+            handle.retired = True
+            await loop.run_in_executor(None, _stop_worker, handle)
+
+    # -- request execution -------------------------------------------------
+
+    async def run(self, handle, payload, on_event=None):
+        """Run one request payload on ``handle``.
+
+        Streams any ``progress`` messages through ``on_event`` (called
+        on the event loop) and returns the ``result`` body. Raises
+        :class:`WorkerCrash` if the pipe breaks, :class:`WorkerError`
+        if the worker replied with a typed error.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, handle.conn.send,
+                                       ("run", payload))
+            while True:
+                try:
+                    kind, body = await loop.run_in_executor(
+                        None, handle.conn.recv)
+                except (EOFError, OSError):
+                    raise WorkerCrash(
+                        "worker %s died mid-request (exitcode %s)"
+                        % (handle.pid, handle.process.exitcode))
+                if kind == "progress":
+                    if on_event is not None:
+                        on_event(body)
+                    continue
+                if kind == "result":
+                    handle.served += 1
+                    return body
+                if kind == "error":
+                    raise WorkerError(body)
+                raise WorkerCrash("worker %s sent unexpected message %r"
+                                  % (handle.pid, kind))
+        except (BrokenPipeError, OSError) as exc:
+            if isinstance(exc, (WorkerCrash, WorkerError)):
+                raise
+            raise WorkerCrash("worker %s pipe failed: %s"
+                              % (handle.pid, exc))
+
+    async def ping(self, handle, timeout=5.0):
+        """Health probe; False (and the caller should retire) on any
+        failure or timeout."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, handle.conn.send, ("ping",))
+            kind, _body = await asyncio.wait_for(
+                loop.run_in_executor(None, handle.conn.recv), timeout)
+            return kind == "pong"
+        except (EOFError, OSError, asyncio.TimeoutError):
+            return False
+
+    def snapshot(self):
+        """JSON-ready pool accounting for the daemon's ``stats`` op."""
+        workers = [{"pid": handle.pid, "busy": handle.busy,
+                    "served": handle.served,
+                    "prewarm_seconds": handle.ready_info.get(
+                        "prewarm_seconds")}
+                   for handle in self._workers]
+        return {"size": self.size, "alive": len(self._workers),
+                "spawned": self.spawned, "crashes": self.crashes,
+                "workers": sorted(workers, key=lambda w: w["pid"])}
+
+
+def _reap(process, timeout=5.0):
+    process.join(timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout)
+
+
+def _stop_worker(handle):
+    try:
+        handle.conn.send(("exit",))
+        # Wait for the polite goodbye so the pipe drains before close.
+        while True:
+            kind, _ = handle.conn.recv()
+            if kind == "bye":
+                break
+    except (EOFError, OSError):
+        pass
+    try:
+        handle.conn.close()
+    except OSError:
+        pass
+    _reap(handle.process)

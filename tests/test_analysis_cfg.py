@@ -423,6 +423,21 @@ class TestParallelSafetyBF601:
             """, EXP_PATH)
         assert findings == []
 
+    def test_dispatch_roots_marker_seeds_async_handler(self):
+        # The serving daemon's connection handler is an async function
+        # dispatched by asyncio.start_server, never called by name from
+        # this module — DISPATCH_ROOTS must seed async defs too.
+        findings = lint("""\
+            DISPATCH_ROOTS = ("handle_connection",)
+            SESSIONS = {}
+
+            async def handle_connection(reader, writer):
+                SESSIONS[id(writer)] = reader
+                return None
+            """, EXP_PATH)
+        assert rule_ids(findings) == ["BF601"]
+        assert "SESSIONS" in findings[0].message
+
 
 class TestUnorderedFoldBF602:
     def test_set_iteration_in_dispatching_function_is_flagged(self):
