@@ -13,6 +13,7 @@ from repro.analysis.lint.rules.parallel_safety import (
     ParallelSafetyRule,
     UnorderedFoldRule,
 )
+from repro.analysis.lint.rules.policy_flags import PolicyFlagRule
 
 _RULE_CLASSES = (
     LayeringRule,
@@ -25,6 +26,7 @@ _RULE_CLASSES = (
     TeardownOrderRule,
     ParallelSafetyRule,
     UnorderedFoldRule,
+    PolicyFlagRule,
 )
 
 #: Findings the engine emits itself (no rule class): parse failures and

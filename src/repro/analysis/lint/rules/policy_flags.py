@@ -1,0 +1,46 @@
+"""BF701: no raw policy-flag dispatch outside the policy layer.
+
+Policy selection is the :mod:`repro.core.policy` registry; the
+``babelfish_tlb``/``babelfish_pt`` booleans (and the ``is_babelfish``
+shorthand) survive only as ``SimConfig`` storage plus back-compat
+derivation. A raw read like ``if config.babelfish_tlb:`` anywhere else
+re-creates the pre-registry dispatch pattern in which "not BabelFish"
+silently means "conventional" — exactly the misroute that sent any third
+policy (Victima, coalesced) down the conventional path. Branch on the
+registry's capability queries instead: ``config.shared_tlb_entries``,
+``config.shares_page_tables``, ``config.share_l1_tlb``, or the
+``config.translation_policy`` singleton's attributes.
+"""
+
+import ast
+
+from repro.analysis.lint.engine import LintRule
+
+#: Attribute reads that bypass the registry.
+_RAW_FLAGS = frozenset({"babelfish_tlb", "babelfish_pt", "is_babelfish"})
+
+#: Files that *are* the policy layer: the config declares/derives the
+#: flags and the registry maps them onto capabilities.
+_ALLOWED_SUFFIXES = ("sim/config.py", "core/policy.py")
+
+
+class PolicyFlagRule(LintRule):
+    rule_id = "BF701"
+    description = ("no raw policy-flag reads (babelfish_tlb/babelfish_pt/"
+                   "is_babelfish) outside sim/config.py and the policy "
+                   "registry; use capability queries")
+
+    def applies_to(self, module):
+        if module.is_test:
+            return False
+        path = module.path.replace("\\", "/")
+        return not path.endswith(_ALLOWED_SUFFIXES)
+
+    def visit_Attribute(self, node, ctx):
+        if node.attr in _RAW_FLAGS and isinstance(node.ctx, ast.Load):
+            ctx.report(node, "raw policy-flag read '.%s' dispatches by "
+                             "boolean and silently misroutes any third "
+                             "policy to the conventional path; branch on a "
+                             "registry capability (shared_tlb_entries, "
+                             "shares_page_tables, translation_policy.*) "
+                             "instead" % node.attr)

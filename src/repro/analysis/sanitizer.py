@@ -48,7 +48,7 @@ class CoherenceViolation:
     kind: str        # stale-entry | ppn-mismatch | size-mismatch |
                      # perm-mismatch | ccid-leak | opc-desync |
                      # invalidation-leak | freed-frame
-    level: str       # L1D | L1I | L2
+    level: str       # L1D | L1I | L2 | L3
     vpn: int         # 4K group-space VPN the check ran at
     pid: int         # process on whose behalf the check ran (or entry owner)
     detail: str
@@ -118,7 +118,7 @@ class TranslationSanitizer:
         reference falls back to the live CCID-group members' tables.
         """
         pte, table = self._walk_tables(proc, vpn_group)
-        if pte is not None or not self.config.babelfish_tlb:
+        if pte is not None or not self.config.shared_tlb_entries:
             return pte, table
         for member in self.kernel.processes.values():
             if member is proc or not member.alive \
@@ -137,20 +137,33 @@ class TranslationSanitizer:
         ``kernel.on_frames_freed`` by the simulator."""
         self._quarantine.update(ppns)
 
+    @staticmethod
+    def _entry_frames(entry, vpn_group, site):
+        """The PPNs a check must hold against quarantine. Coalesced
+        spans map several frames: a hit resolves exactly one (the
+        accessed page's slice), while a fill asserts the whole span."""
+        if not entry.page_size.coalesced:
+            return (entry.ppn,)
+        if site == "hit":
+            return (entry.ppn + (vpn_group & entry.page_size.base_mask),)
+        return tuple(entry.ppn + off
+                     for off in range(entry.page_size.base_pages))
+
     def _check_freed_frame(self, level, proc, entry, vpn_group, site):
-        if entry.ppn not in self._quarantine:
-            return
-        if self.kernel.allocator.refcount(entry.ppn) > 0:
-            # Reallocated since it was freed: no longer quarantined. A
-            # stale entry pointing here is caught by the walk-based
-            # checks instead (ppn-mismatch / stale-entry).
-            self._quarantine.discard(entry.ppn)
-            return
-        self._record(
-            "freed-frame", level, vpn_group, proc.pid,
-            "%s resolves to ppn=%#x, which teardown freed and the "
-            "allocator has not reissued — a dead translation outlived "
-            "its frame" % (site, entry.ppn))
+        for ppn in self._entry_frames(entry, vpn_group, site):
+            if ppn not in self._quarantine:
+                continue
+            if self.kernel.allocator.refcount(ppn) > 0:
+                # Reallocated since it was freed: no longer quarantined. A
+                # stale entry pointing here is caught by the walk-based
+                # checks instead (ppn-mismatch / stale-entry).
+                self._quarantine.discard(ppn)
+                continue
+            self._record(
+                "freed-frame", level, vpn_group, proc.pid,
+                "%s resolves to ppn=%#x, which teardown freed and the "
+                "allocator has not reissued — a dead translation outlived "
+                "its frame" % (site, ppn))
 
     # -- fill / hit checks -------------------------------------------------
 
@@ -166,12 +179,20 @@ class TranslationSanitizer:
                 "outlived its translation (missed invalidation after "
                 "munmap/CoW?)" % (entry,))
             return
-        if entry.ppn != pte.ppn:
+        resolved_ppn = entry.ppn
+        expected_size = entry.page_size
+        if entry.page_size.coalesced:
+            # A span caches several contiguous 4K translations: the hit
+            # resolves the accessed slice, and the tables must hold it
+            # as a plain 4K pte_t.
+            resolved_ppn += vpn_group & entry.page_size.base_mask
+            expected_size = PageSize.SIZE_4K
+        if resolved_ppn != pte.ppn:
             self._record(
                 "ppn-mismatch", level, vpn_group, proc.pid,
                 "hit returns ppn=%#x but the tables map ppn=%#x — stale "
-                "entry after a CoW break or remap" % (entry.ppn, pte.ppn))
-        if entry.page_size is not pte.page_size:
+                "entry after a CoW break or remap" % (resolved_ppn, pte.ppn))
+        if expected_size is not pte.page_size:
             self._record(
                 "size-mismatch", level, vpn_group, proc.pid,
                 "entry page size %s but the tables hold %s"
@@ -197,18 +218,39 @@ class TranslationSanitizer:
                 "stale-entry", level, vpn_group, proc.pid,
                 "fill of %r without a present architectural pte_t" % (entry,))
             return
-        if entry.ppn != pte.ppn:
+        resolved_ppn = entry.ppn
+        if entry.page_size.coalesced:
+            resolved_ppn += vpn_group & entry.page_size.base_mask
+        if resolved_ppn != pte.ppn:
             self._record(
                 "ppn-mismatch", level, vpn_group, proc.pid,
                 "filled ppn=%#x but the tables map ppn=%#x"
-                % (entry.ppn, pte.ppn))
+                % (resolved_ppn, pte.ppn))
         if entry.ccid != proc.ccid:
             self._record(
                 "ccid-leak", level, vpn_group, proc.pid,
                 "fill tagged CCID %d on behalf of a CCID-%d process"
                 % (entry.ccid, proc.ccid))
-        if self.config.babelfish_tlb and table is not None:
+        if entry.page_size.coalesced:
+            self._check_span_fill(level, proc, entry)
+        if self.config.shared_tlb_entries and table is not None:
             self._check_opc(level, proc, entry, vpn_group, table)
+
+    def _check_span_fill(self, level, proc, entry):
+        """A coalesced fill asserts the whole aligned block: every
+        covered 4K vpn must be present, 4K-mapped, and physically
+        contiguous from the span base — re-derived from the tables, not
+        from the policy's own block scan."""
+        base = _entry_vpn4k(entry)
+        for off in range(entry.page_size.base_pages):
+            pte, _table = self._arch_walk(proc, base + off)
+            if pte is None or pte.page_size is not PageSize.SIZE_4K \
+                    or pte.ppn != entry.ppn + off:
+                self._record(
+                    "ppn-mismatch", level, base + off, proc.pid,
+                    "coalesced span %r asserts ppn=%#x for member +%d "
+                    "but the tables hold %r"
+                    % (entry, entry.ppn + off, off, pte))
 
     def _check_opc(self, level, proc, entry, vpn_group, table):
         """O-PC snapshot vs the page-table/MaskPage state at fill time.
@@ -255,8 +297,7 @@ class TranslationSanitizer:
         ``apply_invalidation`` shows up here.
         """
         self.checks += 1
-        for name, multi in (("L1D", mmu.l1d), ("L1I", mmu.l1i),
-                            ("L2", mmu.l2)):
+        for name, multi in mmu.tlb_levels():
             for entry in multi.entries():
                 if self._should_be_gone(name, mmu, proc, entry, inv):
                     self._record(
@@ -301,13 +342,20 @@ class TranslationSanitizer:
         by_ccid = {}
         for p in by_pid.values():
             by_ccid.setdefault(p.ccid, p)
-        for name, multi in (("L1D", mmu.l1d), ("L1I", mmu.l1i),
-                            ("L2", mmu.l2)):
+        for name, multi in mmu.tlb_levels():
             for entry in multi.entries():
                 proc = by_pid.get(entry.inserted_by)
                 if proc is None and not entry.o_bit:
                     proc = by_ccid.get(entry.ccid)
                 if proc is None:
+                    continue
+                if entry.page_size.coalesced:
+                    # Each covered 4K vpn must still resolve: a partial
+                    # remap/unmap of the block has to have dropped the
+                    # whole span.
+                    base = _entry_vpn4k(entry)
+                    for off in range(entry.page_size.base_pages):
+                        self.check_hit(name, proc, entry, base + off)
                     continue
                 vpn_group = self._group_vpn_for(name, mmu, proc, entry)
                 if vpn_group is None:
@@ -318,7 +366,7 @@ class TranslationSanitizer:
     def _group_vpn_for(self, level, mmu, proc, entry):
         """Group-space 4K VPN of an entry (L1 may cache proc-space VPNs)."""
         vpn4k = _entry_vpn4k(entry)
-        if level == "L2" or self.config.share_l1_tlb:
+        if level in ("L2", "L3") or self.config.share_l1_tlb:
             return vpn4k
         # Per-process L1 under ASLR-HW: map back to group space.
         if proc.layout_proc is proc.layout_group:

@@ -18,11 +18,18 @@ trajectory to ``BENCH_hotpath.json`` at the repo root.
 with mid-bring-up kills, the translation sanitizer on, and exact
 resource-leak accounting; exits nonzero on any violation or leak.
 
+``zoo`` runs the policy ablation grid (:mod:`repro.experiments.zoo`):
+every registered translation policy x the stock workloads, all three
+execution tiers triangulated bit-identical per cell, MPKI/latency
+grid and policy-gain ratios written to ``BENCH_zoo.json``; exits
+nonzero if any cell's tiers diverge.
+
     python -m repro.experiments run --quick --jobs 4
     python -m repro.experiments trace --quick --out /tmp/obs-bf
     python -m repro.experiments cache --clear
     python -m repro.experiments perf --smoke
     python -m repro.experiments churn --smoke
+    python -m repro.experiments zoo --smoke --jobs 4
 """
 
 import argparse
@@ -139,6 +146,26 @@ def main(argv=None):
                               help="live progress lines (cycles/sec, "
                                    "launch/stop/kill counters)")
 
+    zoo_parser = sub.add_parser(
+        "zoo", help="policy ablation grid: every registered policy x "
+                    "stock workloads, tiers triangulated, writes "
+                    "BENCH_zoo.json")
+    zoo_parser.add_argument("--smoke", action="store_true",
+                            help="smoke tier only (one app, tiny slice; CI)")
+    zoo_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (default 1)")
+    zoo_parser.add_argument("--out", default=None,
+                            help="output JSON path (default BENCH_zoo.json "
+                                 "at the repo root)")
+    zoo_parser.add_argument("--cache-dir", default=None,
+                            help="disk cache directory (default "
+                                 "benchmarks/out/runcache)")
+    zoo_parser.add_argument("--no-disk-cache", action="store_true",
+                            help="keep results in memory only")
+    zoo_parser.add_argument("--live", action="store_true",
+                            help="live progress lines, aggregated across "
+                                 "workers under --jobs")
+
     args = parser.parse_args(argv)
     if args.command == "cache":
         return _cache_command(args)
@@ -148,6 +175,8 @@ def main(argv=None):
         return _perf_command(perf_parser, args)
     if args.command == "churn":
         return _churn_command(churn_parser, args)
+    if args.command == "zoo":
+        return _zoo_command(zoo_parser, args)
     return _run_command(run_parser, args)
 
 
@@ -281,6 +310,30 @@ def _churn_command(parser, args):
                        progress=monitor)
     print(format_churn(result))
     return 0 if result.clean else 1
+
+
+def _zoo_command(parser, args):
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer (got %d)" % args.jobs)
+    from repro.experiments.zoo import run_zoo
+    if not args.no_disk_cache:
+        cache = DiskRunCache(args.cache_dir)
+        set_disk_cache(cache)
+        print("run cache: %s" % cache.root)
+    monitor = None
+    if args.live:
+        from repro.obs.live import ProgressMonitor
+        monitor = ProgressMonitor(unit="runs", label="zoo", interval=1.0)
+    payload = run_zoo(smoke=args.smoke, jobs=args.jobs, out=args.out,
+                      progress=print, monitor=monitor)
+    ran = ("smoke",) if args.smoke else ("smoke", "full")
+    divergent = [cell for name in ran
+                 for cell in payload["tiers"][name].get("divergent", ())]
+    if divergent:
+        print("tier divergence in: %s" % ", ".join(sorted(set(divergent))),
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cache_command(args):

@@ -45,6 +45,8 @@ from repro.sim.config import (
     babelfish_tlb_only_config,
     baseline_config,
     bigtlb_config,
+    coalesced_config,
+    victima_config,
 )
 from repro.sim.simulator import Simulator
 from repro.experiments import runcache
@@ -90,7 +92,7 @@ def build_environment(config, cores=8):
     machine = experiment_machine(cores=cores)
     allocator = FrameAllocator()
     policy = None
-    if config.babelfish_pt:
+    if config.shares_page_tables:
         policy = SharedPTManager(
             mask_dir=MaskPageDirectory(
                 allocator, max_writers=config.pc_bitmask_bits,
@@ -279,6 +281,8 @@ def config_by_name(name, **overrides):
         "BabelFish-PT": babelfish_pt_only_config,
         "BabelFish-TLB": babelfish_tlb_only_config,
         "BigTLB": bigtlb_config,
+        "Victima": victima_config,
+        "Coalesced": coalesced_config,
     }
     return builders[name](**overrides)
 

@@ -154,6 +154,61 @@ def l2_tlb_report(pc_bitmask_bits=32, model=None):
     }
 
 
+def victima_l2_geometries():
+    """Victima leaves the dedicated TLB arrays untouched: its extra
+    reach is repurposed L2-*cache* SRAM, so the policy's TLB-array area
+    is exactly the baseline's."""
+    return (baseline_l2_geometry(),)
+
+
+def coalesced_l2_geometries(degree=4):
+    """The coalesced policy splits the L2 4K budget in half: a coalesced
+    array whose tags are span-granular (``log2(degree)`` fewer VPN bits)
+    but which carries ``degree`` extra per-member attribute bits, plus a
+    plain 4K array for runs that do not coalesce."""
+    base = baseline_l2_geometry()
+    half = base.entries // 2
+    span_bits = int(math.log2(degree))
+    coalesced = dataclasses.replace(
+        base, entries=half, vpn_bits=base.vpn_bits - span_bits,
+        flag_bits=base.flag_bits + degree)
+    single = dataclasses.replace(base, entries=half)
+    return (coalesced, single)
+
+
+def policy_l2_geometries(policy_name, pc_bitmask_bits=32, degree=4):
+    """The L2 TLB array geometries a registry policy builds, for area
+    accounting (``conventional_2x`` is excluded: it *is* the same-area
+    answer, sized by :func:`same_area_conventional_scale`)."""
+    if policy_name in ("conventional", "babelfish_pt"):
+        return (baseline_l2_geometry(),)
+    if policy_name == "victima":
+        return victima_l2_geometries()
+    if policy_name in ("babelfish", "babelfish_tlb"):
+        return (babelfish_l2_geometry(pc_bitmask_bits),)
+    if policy_name == "coalesced":
+        return coalesced_l2_geometries(degree)
+    raise ValueError("no area geometry for policy %r" % (policy_name,))
+
+
+def same_area_conventional_scale(policy_name, model=None,
+                                 pc_bitmask_bits=32, degree=4):
+    """Entry-scale factor for an area-honest conventional comparison.
+
+    The factor a conventional L2 TLB's entry count should be multiplied
+    by to occupy the same SRAM area as ``policy_name``'s L2 arrays —
+    what ``l2_tlb_scale`` (and the Section VII-C "larger conventional
+    TLB" arm) should be set to when comparing against that policy.
+    ``MachineParams.scale_l2_tlb`` snaps the resulting entry count to a
+    buildable power-of-two set count.
+    """
+    model = model or SRAMModel()
+    area = sum(model.area_mm2(g)
+               for g in policy_l2_geometries(policy_name, pc_bitmask_bits,
+                                             degree))
+    return area / model.area_mm2(baseline_l2_geometry())
+
+
 def core_area_overhead_pct(with_pc_bitmask=True, model=None):
     """Section VII-D: extra TLB bits as a percentage of core area.
 

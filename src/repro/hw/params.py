@@ -6,6 +6,7 @@ L2 TLB" comparison of Section VII-C) without touching the models.
 """
 
 import dataclasses
+import math
 
 from repro.hw.types import PageSize
 
@@ -90,6 +91,14 @@ class MMUParams:
     aslr_transform_cycles: int = 2
 
 
+def _snap_entries(entries, ways, factor):
+    """Entry count nearest ``entries * factor`` that yields a
+    power-of-two number of ``ways``-associative sets (minimum one)."""
+    target_sets = max(1.0, entries * factor / ways)
+    exponent = round(math.log2(target_sets))
+    return (1 << max(0, exponent)) * ways
+
+
 @dataclasses.dataclass(frozen=True)
 class MachineParams:
     """The full 8-core server of Table I."""
@@ -113,14 +122,26 @@ class MachineParams:
 
         Used for the "larger conventional L2 TLB" comparison of
         Section VII-C: the area that BabelFish spends on CCID + O-PC bits
-        is spent on extra conventional entries instead.
+        is spent on extra conventional entries instead. The scaled entry
+        count is snapped to a power-of-two number of sets (keeping the
+        associativity), because set-indexed TLBs only exist at those
+        points — ``int(entries * factor)`` would hand the structure an
+        unbuildable 264-set array for honest area factors like the
+        2.07x :func:`repro.hw.cacti.same_area_conventional_scale`
+        derives. Exact powers of two (the stock 2.0) are unchanged.
         """
         mmu = self.mmu
+
+        def scaled_params(params):
+            return dataclasses.replace(
+                params, entries=_snap_entries(params.entries, params.ways,
+                                              factor))
+
         scaled = dataclasses.replace(
             mmu,
-            l2_4k=dataclasses.replace(mmu.l2_4k, entries=int(mmu.l2_4k.entries * factor)),
-            l2_2m=dataclasses.replace(mmu.l2_2m, entries=int(mmu.l2_2m.entries * factor)),
-            l2_1g=dataclasses.replace(mmu.l2_1g, entries=int(mmu.l2_1g.entries * factor)),
+            l2_4k=scaled_params(mmu.l2_4k),
+            l2_2m=scaled_params(mmu.l2_2m),
+            l2_1g=scaled_params(mmu.l2_1g),
         )
         return dataclasses.replace(self, mmu=scaled)
 

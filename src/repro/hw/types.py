@@ -60,10 +60,14 @@ class PageSize(enum.Enum):
 # enum ``.value`` access per call, which shows up when the simulator's
 # fast path does them per translation. ``shift4k`` is the right-shift
 # from a 4K VPN to this size's VPN; ``base_mask`` selects the 4K page
-# within a larger page (``base_pages - 1``).
+# within a larger page (``base_pages - 1``). ``coalesced`` marks
+# synthetic multi-frame spans (:class:`repro.core.policy.CoalescedSpan`)
+# — always False for real architectural page sizes, so size-generic
+# consumers can branch without type checks.
 for _size in PageSize:
     _size.shift4k = _size.value - PAGE_SHIFT
     _size.base_mask = (1 << (_size.value - PAGE_SHIFT)) - 1
+    _size.coalesced = False
 del _size
 
 

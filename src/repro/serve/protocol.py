@@ -30,6 +30,7 @@ import json
 import struct
 
 from repro.experiments import common, runner
+from repro.sim.config import KNOWN_POLICIES
 from repro.workloads.profiles import APP_PROFILES
 
 #: Default cap on one frame's JSON payload (32 MiB — a full app-run
@@ -213,12 +214,23 @@ def wire_to_request(data):
         if not isinstance(value, _SCALAR_TYPES):
             raise BadRequest("override %r must be a scalar, got %s"
                              % (field, type(value).__name__))
+    policy = overrides.get("policy")
+    if policy is not None and policy not in KNOWN_POLICIES:
+        # Reject by name rather than letting anything downstream guess:
+        # an unknown policy must never default to the conventional path.
+        raise BadRequest("unknown policy %r for field 'policy' (known: %s)"
+                         % (policy, ", ".join(KNOWN_POLICIES)))
     config_name = data.get("config_name", "Baseline")
     try:
         common.config_by_name(config_name, **overrides)
     except KeyError:
         raise BadRequest("unknown config %r" % (config_name,))
     except TypeError as exc:
+        raise BadRequest("bad overrides for config %r: %s"
+                         % (config_name, exc))
+    except ValueError as exc:
+        # SimConfig validation errors name the offending field
+        # (e.g. an unknown or flag-inconsistent 'policy').
         raise BadRequest("bad overrides for config %r: %s"
                          % (config_name, exc))
     cores = data.get("cores", 8)

@@ -22,7 +22,6 @@ from repro.core.babelfish_tlb import (
     conventional_lookup,
     conventional_lookup_fast,
     hit_provenance,
-    make_entry,
 )
 from repro.core.mask_page import region_of
 from repro.kernel.fault import FaultType, InvalidationScope, trace_outcome
@@ -56,13 +55,21 @@ class MMU:
         self.config = config
         self.kernel = kernel
         mmu = machine.mmu
+        #: The translation policy (repro.core.policy): structure
+        #: geometry, fill rule, and capability flags all come from here.
+        self.policy = policy = config.translation_policy
         #: Fast structures + L0 memo, unless the config/env/debug modes
         #: force the reference implementations (repro.sim.fastpath).
         self.fast = structures_active(config)
         multi = FastMultiSizeTLB if self.fast else MultiSizeTLB
         self.l1d = multi([mmu.l1d_4k, mmu.l1d_2m, mmu.l1d_1g])
         self.l1i = multi([mmu.l1i_4k])
-        self.l2 = multi([mmu.l2_4k, mmu.l2_2m, mmu.l2_1g])
+        self.l2 = multi(list(policy.l2_tlb_params(mmu)))
+        victim = policy.victim_tlb_params(machine)
+        #: Optional L3 victim TLB level (Victima-style policies): probed
+        #: between an L2 TLB miss and the page walk.
+        self.l3 = multi(list(victim[0])) if victim is not None else None
+        self.l3_cycles = victim[1] if victim is not None else 0
         self.pwc = PageWalkCache(mmu.pwc)
         self.walker = PageWalker(core_id, hierarchy, self.pwc)
         self.l2_short_cycles = mmu.l2_4k.access_cycles
@@ -91,12 +98,17 @@ class MMU:
         #: public translate() still allocates unless ``into`` is passed).
         self._tr_scratch = TranslationResult()
         # Per-config constants prebound for the fast translate path
-        # (none of these can change over a run).
+        # (none of these can change over a run). All policy capability
+        # queries, never raw config flags (lint rule BF701).
         self._share_l1 = config.share_l1_tlb
-        self._bf_tlb = config.babelfish_tlb
-        self._aslr_transform = (config.babelfish_tlb
+        self._bf_tlb = policy.uses_ccid
+        self._aslr_transform = (policy.uses_ccid
                                 and not config.aslr_mode.shares_l1)
         self._orpc = config.orpc_enabled
+        self._tlb_levels = tuple(
+            pair for pair in (("L1D", self.l1d), ("L1I", self.l1i),
+                              ("L2", self.l2), ("L3", self.l3))
+            if pair[1] is not None)
         self._domain_fn = self._bf_l1d.domain_fn
         self._sanitizer = None
         self._tracer = None
@@ -133,6 +145,13 @@ class MMU:
         self._memo = (self._memo_store
                       if self._sanitizer is None and self._tracer is None
                       else None)
+
+    def tlb_levels(self):
+        """``(name, structure)`` pairs, L1s first, including the victim
+        level when the policy declares one. The invalidation sweep and
+        the sanitizer iterate this, so a policy adding a level is
+        covered automatically."""
+        return self._tlb_levels
 
     def memo_peek(self, proc, segment, page_off, instr, is_write):
         """Side-effect-free memo guard evaluation for the batch engine
@@ -237,12 +256,12 @@ class MMU:
             tracer.tlb_miss(self.core_id, proc.pid,
                             "L1I" if instr else "L1D", vpn_group, instr)
 
-        if config.babelfish_tlb and not config.aslr_mode.shares_l1:
+        if self._aslr_transform:
             # ASLR-HW transformation between L1 and L2 (Section IV-D).
             cycles += self.aslr_cycles
             stats.aslr_transforms += 1
 
-        if config.babelfish_tlb:
+        if self._bf_tlb:
             l2_res = self._bf_l2.lookup(vpn_group, proc, is_write)
             long_access = l2_res.consulted_bitmask
             if not config.orpc_enabled and l2_res.entry is not None \
@@ -288,6 +307,37 @@ class MMU:
             stats.l2_misses_d += 1
         if tracer is not None:
             tracer.tlb_miss(self.core_id, proc.pid, "L2", vpn_group, instr)
+
+        if self.l3 is not None:
+            cycles += self.l3_cycles
+            l3_res = conventional_lookup(self.l3, vpn_group, proc, is_write)
+            if l3_res.cow_fault:
+                cycles += self._service_fault(proc, vpn_group, is_write)
+                return cycles, None, None
+            if l3_res.hit:
+                entry = l3_res.entry
+                if instr:
+                    stats.l3_hits_i += 1
+                else:
+                    stats.l3_hits_d += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.check_hit("L3", proc, entry, vpn_group)
+                if tracer is not None:
+                    tracer.tlb_hit(self.core_id, proc.pid, "L3", vpn_group,
+                                   hit_provenance(entry, proc))
+                l2_entry = self._refill_from_l3(proc, entry, vpn_group)
+                self._fill_l1(proc, vpn_proc, vpn_group, l2_entry, instr)
+                self.kernel.lru.touch(entry.ppn)
+                ppn4k = entry.ppn + (vpn_group
+                                     & (entry.page_size.base_pages - 1))
+                return cycles, ppn4k, entry.page_size
+            if instr:
+                stats.l3_misses_i += 1
+            else:
+                stats.l3_misses_d += 1
+            if tracer is not None:
+                tracer.tlb_miss(self.core_id, proc.pid, "L3", vpn_group,
+                                instr)
 
         walk = self.walker.walk(proc, vpn_group)
         stats.walks += 1
@@ -389,6 +439,28 @@ class MMU:
         else:
             stats.l2_misses_d += 1
 
+        if self.l3 is not None:
+            cycles += self.l3_cycles
+            entry, _size, cow_fault = conventional_lookup_fast(
+                self.l3, vpn_group, proc.pcid, is_write)
+            if cow_fault:
+                cycles += self._service_fault(proc, vpn_group, is_write)
+                return cycles, None, None
+            if entry is not None:
+                if instr:
+                    stats.l3_hits_i += 1
+                else:
+                    stats.l3_hits_d += 1
+                l2_entry = self._refill_from_l3(proc, entry, vpn_group)
+                self._fill_l1(proc, vpn_proc, vpn_group, l2_entry, instr)
+                self.kernel.lru.touch(entry.ppn)
+                ppn4k = entry.ppn + (vpn_group & entry.page_size.base_mask)
+                return cycles, ppn4k, entry.page_size
+            if instr:
+                stats.l3_misses_i += 1
+            else:
+                stats.l3_misses_d += 1
+
         walk = self.walker.walk(proc, vpn_group)
         stats.walks += 1
         stats.walk_cycles += walk.cycles
@@ -407,29 +479,52 @@ class MMU:
     # -- fills -----------------------------------------------------------------------
 
     def _fill_l2(self, proc, vpn_group, pte, leaf_table):
-        size = pte.page_size
-        vpn = vpn_group >> (size.shift - PageSize.SIZE_4K.shift)
-        if self.config.babelfish_tlb:
-            fill_info = self.kernel.policy.fill_info(proc, leaf_table, vpn_group)
-            entry = make_entry(vpn, pte, proc, fill_info, size)
-            replace = (lambda old: old.ccid == entry.ccid
-                       and old.o_bit == entry.o_bit
-                       and (not entry.o_bit or old.pcid == entry.pcid))
-        else:
-            entry = TLBEntry(vpn, pte.ppn, size, pcid=proc.pcid,
-                             ccid=proc.ccid, writable=pte.writable,
-                             cow=pte.cow, o_bit=True, inserted_by=proc.pid)
-            replace = lambda old: old.pcid == entry.pcid
+        entry, replace = self.policy.fill_l2(self.kernel, proc, vpn_group,
+                                             pte, leaf_table)
         self.l2.insert(entry, replace=replace)
+        if self.sanitizer is not None:
+            self.sanitizer.check_fill("L2", proc, entry, vpn_group)
+        if self.l3 is not None and entry.page_size in self.l3.tlbs:
+            # Inclusive victim fill. Always a clone: the reference and
+            # fast structures track validity/occupancy differently, so
+            # one entry object must never live in two structures.
+            clone = self._clone_entry(entry)
+            self.l3.insert(clone, replace=lambda old: old.pcid == clone.pcid)
+            if self.sanitizer is not None:
+                self.sanitizer.check_fill("L3", proc, clone, vpn_group)
+        return entry
+
+    def _refill_from_l3(self, proc, l3_entry, vpn_group):
+        """An L3 victim hit refills the L2 TLB (and the caller refills
+        the L1) with a clone of the victim entry."""
+        entry = self._clone_entry(l3_entry)
+        self.l2.insert(entry, replace=lambda old: old.pcid == entry.pcid)
         if self.sanitizer is not None:
             self.sanitizer.check_fill("L2", proc, entry, vpn_group)
         return entry
 
+    @staticmethod
+    def _clone_entry(entry):
+        clone = TLBEntry(entry.vpn, entry.ppn, entry.page_size,
+                         pcid=entry.pcid, ccid=entry.ccid,
+                         writable=entry.writable, user=entry.user,
+                         cow=entry.cow, o_bit=entry.o_bit, orpc=entry.orpc,
+                         pc_mask=entry.pc_mask,
+                         inserted_by=entry.inserted_by)
+        return clone
+
     def _fill_l1(self, proc, vpn_proc, vpn_group, l2_entry, instr):
         size = l2_entry.page_size
-        if self.config.share_l1_tlb:
+        ppn = l2_entry.ppn
+        if size.coalesced:
+            # The L1s hold only architectural sizes: project the covered
+            # 4K slice out of the span (frames are contiguous from the
+            # span base, so the slice's frame is ppn + offset).
+            ppn += vpn_group & size.base_mask
+            size = PageSize.SIZE_4K
+        if self._share_l1:
             vpn = vpn_group >> (size.shift - PageSize.SIZE_4K.shift)
-            entry = TLBEntry(vpn, l2_entry.ppn, size, pcid=proc.pcid,
+            entry = TLBEntry(vpn, ppn, size, pcid=proc.pcid,
                              ccid=proc.ccid, writable=l2_entry.writable,
                              cow=l2_entry.cow, o_bit=l2_entry.o_bit,
                              orpc=l2_entry.orpc, pc_mask=l2_entry.pc_mask,
@@ -439,7 +534,7 @@ class MMU:
                        and (not entry.o_bit or old.pcid == entry.pcid))
         else:
             vpn = vpn_proc >> (size.shift - PageSize.SIZE_4K.shift)
-            entry = TLBEntry(vpn, l2_entry.ppn, size, pcid=proc.pcid,
+            entry = TLBEntry(vpn, ppn, size, pcid=proc.pcid,
                              ccid=proc.ccid, writable=l2_entry.writable,
                              cow=l2_entry.cow, o_bit=True,
                              inserted_by=proc.pid)
@@ -488,15 +583,13 @@ class MMU:
             vpn_proc = self._to_proc_space(proc, inv.vpn)
             if vpn_proc is not None:
                 vpns.add(vpn_proc)
-            for vpn in vpns:
-                self.l1d.invalidate(vpn, pred)
-                self.l1i.invalidate(vpn, pred)
-                self.l2.invalidate(vpn, pred)
+            for _name, tlb in self._tlb_levels:
+                for vpn in vpns:
+                    tlb.invalidate(vpn, pred)
         elif inv.scope is InvalidationScope.SHARED_ENTRY:
             pred = lambda e: (not e.o_bit) and e.ccid == inv.ccid
-            self.l1d.invalidate(inv.vpn, pred)
-            self.l1i.invalidate(inv.vpn, pred)
-            self.l2.invalidate(inv.vpn, pred)
+            for _name, tlb in self._tlb_levels:
+                tlb.invalidate(inv.vpn, pred)
         elif inv.scope is InvalidationScope.REGION_SHARED:
             region = region_of(inv.vpn)
 
@@ -507,23 +600,20 @@ class MMU:
                                       - PageSize.SIZE_4K.shift)
                 return region_of(vpn4k) == region
 
-            self.l1d.flush(pred)
-            self.l1i.flush(pred)
-            self.l2.flush(pred)
+            for _name, tlb in self._tlb_levels:
+                tlb.flush(pred)
         elif inv.scope is InvalidationScope.PCID_FLUSH:
             # Process exit / PCID recycle: every entry tagged with the
             # PCID goes, whatever its VPN (inv.vpn is 0 and ignored).
             pred = lambda e: e.pcid == inv.pcid
-            self.l1d.flush(pred)
-            self.l1i.flush(pred)
-            self.l2.flush(pred)
+            for _name, tlb in self._tlb_levels:
+                tlb.flush(pred)
         elif inv.scope is InvalidationScope.CCID_SHARED:
             # Teardown freed shared tables: every group-shared (O=0)
             # entry of the CCID goes (no PCID flush covers them).
             pred = lambda e: (not e.o_bit) and e.ccid == inv.ccid
-            self.l1d.flush(pred)
-            self.l1i.flush(pred)
-            self.l2.flush(pred)
+            for _name, tlb in self._tlb_levels:
+                tlb.flush(pred)
         if self.sanitizer is not None:
             self.sanitizer.check_invalidation(self, proc, inv)
 
@@ -540,7 +630,6 @@ class MMU:
         return proc.layout_proc.base(segment) + offset
 
     def flush_all(self):
-        self.l1d.flush()
-        self.l1i.flush()
-        self.l2.flush()
+        for _name, tlb in self._tlb_levels:
+            tlb.flush()
         self.pwc.flush()

@@ -15,6 +15,7 @@ class MMUStats:
         "l2_hits_i", "l2_hits_d", "l2_misses_i", "l2_misses_d",
         "l2_shared_hits_i", "l2_shared_hits_d",
         "l2_long_accesses",
+        "l3_hits_i", "l3_hits_d", "l3_misses_i", "l3_misses_d",
         "walks", "walk_cycles",
         "minor_faults", "major_faults", "cow_faults", "spurious_faults",
         "fault_cycles", "translation_cycles", "memory_cycles",

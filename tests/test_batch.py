@@ -23,7 +23,7 @@ from repro.sim import batch
 from repro.workloads.profiles import APP_PROFILES
 
 STOCK_CONFIGS = ("Baseline", "BabelFish", "BabelFish-PT", "BabelFish-TLB",
-                 "BigTLB")
+                 "BigTLB", "Victima", "Coalesced")
 
 
 def _run(name, cores=1, records=1200, batch_on=True, **overrides):

@@ -32,7 +32,7 @@ from repro.sim.fastpath import (FASTPATH_ENV, fastpath_active,
 from repro.sim.simulator import Simulator
 
 STOCK_CONFIGS = ("Baseline", "BabelFish", "BabelFish-PT", "BabelFish-TLB",
-                 "BigTLB")
+                 "BigTLB", "Victima", "Coalesced")
 
 
 def _run_both(name, cores=1, scale=0.03, **overrides):
